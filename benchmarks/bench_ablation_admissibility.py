@@ -1,0 +1,58 @@
+"""Ablation: weak (HODLR) versus strong (η) admissibility.
+
+DESIGN.md documents that the compressed Schur container uses HODLR where
+HMAT uses a general strong-admissibility ℋ-matrix.  This bench quantifies
+the storage difference on the BEM surface operator: strong admissibility
+keeps far-field ranks bounded (at the cost of dense near-field blocks),
+HODLR's top off-diagonal ranks grow with n.
+"""
+
+import pytest
+
+from repro.fembem.bem import make_surface_operator
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix import build_cluster_tree, build_hodlr, build_strong_hmatrix
+from repro.memory import fmt_bytes
+from repro.runner.reporting import render_table
+
+from bench_utils import write_result
+
+
+def test_admissibility_choice(benchmark):
+    rows = []
+    stats = {}
+    for n in (1_000, 2_500):
+        pts = box_surface_points((12.0, 3.0, 3.0), n, seed=7)
+        tree = build_cluster_tree(pts, leaf_size=64)
+        op = make_surface_operator(pts, kind="laplace")
+        hodlr = build_hodlr(op, tree, tol=1e-5)
+        strong = build_strong_hmatrix(op, tree, tol=1e-5, eta=2.0)
+        stats[n] = (hodlr, strong)
+        rows.append((
+            n,
+            f"{hodlr.compression_ratio():.3f}", hodlr.max_rank(),
+            f"{strong.compression_ratio():.3f}", strong.max_rank(),
+            strong.block_counts()["rk"], strong.block_counts()["dense"],
+        ))
+    write_result(
+        "ablation_admissibility",
+        render_table(
+            ["n", "HODLR ratio", "HODLR max rank", "strong ratio",
+             "strong max rank", "#Rk blocks", "#dense blocks"],
+            rows,
+            title="Ablation: weak (HODLR) vs strong (η=2) admissibility "
+                  "on the surface operator, tol=1e-5",
+        ),
+    )
+    for hodlr, strong in stats.values():
+        assert strong.max_rank() < hodlr.max_rank()
+        assert strong.compression_ratio() < 1.0
+        assert hodlr.compression_ratio() < 1.0
+
+    pts = box_surface_points((12.0, 3.0, 3.0), 1_000, seed=7)
+    tree = build_cluster_tree(pts, leaf_size=64)
+    op = make_surface_operator(pts, kind="laplace")
+    benchmark.pedantic(
+        build_strong_hmatrix, args=(op, tree),
+        kwargs={"tol": 1e-5, "eta": 2.0}, rounds=1, iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Ablation: SVD versus ACA compression in the compressed AXPY.
+
+DESIGN.md §5.4.  The compressed-Schur variants must compress every dense
+Schur block the sparse solver returns; truncated SVD is optimal but cubic
+in the block size, ACA is cheaper but heuristic.  This bench compares
+them inside the full compressed multi-solve.
+"""
+
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+from repro.memory import fmt_bytes
+from repro.runner.reporting import render_table
+
+from bench_utils import write_result
+
+
+def test_compressor_choice(benchmark, pipe_8k):
+    rows = []
+    results = {}
+    for compressor in ("svd", "aca"):
+        config = SolverConfig(
+            dense_backend="hmat", n_c=128, n_s_block=512,
+            compressor=compressor,
+        )
+        sol = solve_coupled(pipe_8k, "multi_solve", config)
+        results[compressor] = sol
+        rows.append((
+            compressor,
+            f"{sol.stats.total_time:.2f}s",
+            f"{sol.stats.phases.get('schur_compression', 0):.2f}s",
+            fmt_bytes(sol.stats.schur_bytes),
+            f"{sol.relative_error:.1e}",
+        ))
+    write_result(
+        "ablation_compressor",
+        render_table(
+            ["compressor", "total time", "compression time",
+             "S bytes", "rel. err"],
+            rows,
+            title="Ablation: compressed-AXPY compressor (pipe N=8,000)",
+        ),
+    )
+    for sol in results.values():
+        assert sol.relative_error < 1e-3
+    benchmark.pedantic(
+        solve_coupled,
+        args=(pipe_8k, "multi_solve",
+              SolverConfig(dense_backend="hmat", compressor="aca",
+                           n_c=128, n_s_block=512)),
+        rounds=1, iterations=1,
+    )

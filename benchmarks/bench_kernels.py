@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the solver building blocks.
+
+Not tied to a specific paper figure; tracks the performance of the
+kernels every coupling algorithm is built from (blocked dense
+factorizations, hierarchical matvec/factorization, ACA compression,
+multifrontal factorize/solve).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dense import blocked_ldlt, blocked_lu
+from repro.fembem.bem import make_surface_operator
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix import HLUFactorization, aca_dense, build_cluster_tree, build_hodlr
+from repro.sparse import SparseSolver
+
+
+@pytest.fixture(scope="module")
+def dense_matrix():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((768, 768))
+    return a + 80 * np.eye(768)
+
+
+@pytest.fixture(scope="module")
+def surface_setup():
+    pts = box_surface_points((8.0, 2.0, 2.0), 1_200, seed=2)
+    tree = build_cluster_tree(pts, leaf_size=64)
+    op = make_surface_operator(pts, kind="laplace")
+    return pts, tree, op
+
+
+def test_blocked_lu_kernel(benchmark, dense_matrix):
+    benchmark.pedantic(blocked_lu, args=(dense_matrix,),
+                       kwargs={"block_size": 128}, rounds=3, iterations=1)
+
+
+def test_blocked_ldlt_kernel(benchmark, dense_matrix):
+    sym = dense_matrix + dense_matrix.T
+    benchmark.pedantic(blocked_ldlt, args=(sym,),
+                       kwargs={"block_size": 128}, rounds=3, iterations=1)
+
+
+def test_hodlr_assembly(benchmark, surface_setup):
+    _, tree, op = surface_setup
+    hm = benchmark.pedantic(build_hodlr, args=(op, tree),
+                            kwargs={"tol": 1e-4}, rounds=1, iterations=1)
+    assert hm.compression_ratio() < 1.0
+
+
+def test_hodlr_matvec(benchmark, surface_setup):
+    _, tree, op = surface_setup
+    hm = build_hodlr(op, tree, tol=1e-6)
+    x = np.random.default_rng(1).standard_normal((tree.n, 8))
+    benchmark.pedantic(hm.matvec, args=(x,), rounds=5, iterations=1)
+
+
+def test_hlu_factorization(benchmark, surface_setup):
+    _, tree, op = surface_setup
+    hm = build_hodlr(op, tree, tol=1e-6)
+    benchmark.pedantic(HLUFactorization, args=(hm,), rounds=1, iterations=1)
+
+
+def test_aca_compression(benchmark):
+    x = box_surface_points((2.0, 2.0, 2.0), 400, seed=3)
+    y = box_surface_points((2.0, 2.0, 2.0), 400, seed=4,
+                           origin=(8.0, 0.0, 0.0))
+    from repro.fembem.bem import laplace_kernel
+    g = laplace_kernel(0.05)(x, y)
+    rk = benchmark.pedantic(aca_dense, args=(g, 1e-6), rounds=3,
+                            iterations=1)
+    assert rk.rank < 60
+
+
+def test_multifrontal_factorize(benchmark, pipe_8k):
+    def factorize():
+        f = SparseSolver().factorize(pipe_8k.a_vv, coords=pipe_8k.coords_v,
+                                     symmetric_values=True)
+        f.free()
+    benchmark.pedantic(factorize, rounds=2, iterations=1)
+
+
+def test_multifrontal_solve(benchmark, pipe_8k):
+    f = SparseSolver().factorize(pipe_8k.a_vv, coords=pipe_8k.coords_v,
+                                 symmetric_values=True)
+    b = np.random.default_rng(0).standard_normal((pipe_8k.n_fem, 16))
+    benchmark.pedantic(f.solve, args=(b,), rounds=3, iterations=1)
+    f.free()

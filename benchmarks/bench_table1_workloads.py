@@ -1,0 +1,29 @@
+"""Table I bench: BEM/FEM unknown splits of the target systems.
+
+Regenerates the scaled analog of the paper's Table I (counts of BEM and
+FEM unknowns) and benchmarks the pipe-system generator itself.
+"""
+
+from repro.fembem import generate_pipe_case
+from repro.memory.model import PIPE_BEM_COEFF
+from repro.runner.experiments import run_table1
+from repro.runner.reporting import render_table1
+
+from bench_utils import write_result
+
+
+def test_table1_unknown_splits(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    write_result("table1", render_table1(rows))
+    # the scaled split follows the paper's N^(2/3) law with the same
+    # coefficient (Table I: n_BEM / N^(2/3) ≈ 3.71)
+    for row in rows:
+        coeff = row["n_bem"] / row["n_total"] ** (2.0 / 3.0)
+        assert abs(coeff - PIPE_BEM_COEFF) / PIPE_BEM_COEFF < 0.25
+
+
+def test_pipe_generator_throughput(benchmark):
+    problem = benchmark.pedantic(
+        generate_pipe_case, args=(4_000,), rounds=1, iterations=1
+    )
+    assert problem.n_total == 4_000

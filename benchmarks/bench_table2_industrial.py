@@ -1,0 +1,72 @@
+"""Table II bench: the industrial aircraft case, nine configurations.
+
+Runs the full scaled industrial study (complex non-symmetric matrices,
+surface share preserving the paper's dense-Schur/node-memory ratio) under
+the scaled 384 GiB analog.  Reproduced shape (paper §VI):
+
+* rows 1-2 — uncompressed advanced coupling and multi-factorization
+  "can simply not run on this machine by lack of memory";
+* row 3 — uncompressed multi-solve is the only survivor;
+* rows 4-5 — BLR in the sparse solver lets multi-factorization complete
+  (using more memory than multi-solve);
+* rows 6-7 — compression in the dense solver yields a large further
+  memory improvement;
+* rows 8-9 — growing the Schur blocks (smaller n_b) cuts the number of
+  refactorizations — less time for more memory.
+
+This is the slowest bench (~5-10 minutes); it runs the complete table.
+"""
+
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+from repro.runner.experiments import run_table2
+from repro.runner.reporting import render_table2
+
+from bench_utils import write_result
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return run_table2()
+
+
+def test_table2_feasibility_pattern(benchmark, table2_rows, aircraft_4k):
+    write_result("table2", render_table2(table2_rows))
+    by_row = {r["row"]: r for r in table2_rows}
+    # rows 1-2: OOM without compression
+    assert not by_row[1]["feasible"], "uncompressed advanced must OOM"
+    assert not by_row[2]["feasible"], "uncompressed multi-fact must OOM"
+    # row 3: uncompressed multi-solve is the only uncompressed survivor
+    assert by_row[3]["feasible"]
+    # rows 4-9 complete
+    for row in range(4, 10):
+        assert by_row[row]["feasible"], f"row {row} should fit"
+    benchmark.pedantic(
+        solve_coupled,
+        args=(aircraft_4k, "multi_solve",
+              SolverConfig(n_c=64, epsilon=1e-4)),
+        rounds=1, iterations=1,
+    )
+
+
+def test_table2_orderings(benchmark, table2_rows, aircraft_4k):
+    by_row = {r["row"]: r for r in table2_rows}
+    # sparse compression reduces multi-solve memory (row 4 <= row 3)
+    assert by_row[4]["peak_bytes"] <= by_row[3]["peak_bytes"] * 1.02
+    # dense compression yields the big memory gains (rows 6-7 far below 3-5)
+    assert by_row[6]["peak_bytes"] < 0.8 * by_row[4]["peak_bytes"]
+    assert by_row[7]["peak_bytes"] < 0.8 * by_row[5]["peak_bytes"]
+    # larger Schur blocks: less time, more memory (rows 7 -> 8 -> 9)
+    assert by_row[8]["time"] < by_row[7]["time"]
+    assert by_row[9]["time"] < by_row[8]["time"]
+    assert by_row[9]["peak_bytes"] > by_row[7]["peak_bytes"]
+    # accuracy below the industrial tolerance for compressed rows
+    for row in range(4, 10):
+        assert by_row[row]["relative_error"] < 1e-4
+    benchmark.pedantic(
+        solve_coupled,
+        args=(aircraft_4k, "multi_factorization",
+              SolverConfig(dense_backend="hmat", n_b=2, epsilon=1e-4)),
+        rounds=1, iterations=1,
+    )

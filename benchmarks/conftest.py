@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper;
+rendered outputs are also written under ``benchmarks/results/`` so they
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fembem import generate_aircraft_case, generate_pipe_case
+
+
+
+@pytest.fixture(scope="session")
+def pipe_4k():
+    return generate_pipe_case(4_000)
+
+
+@pytest.fixture(scope="session")
+def pipe_8k():
+    return generate_pipe_case(8_000)
+
+
+@pytest.fixture(scope="session")
+def aircraft_4k():
+    return generate_aircraft_case(4_000, bem_fraction=0.25)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Industrial aircraft study — scaled analog of the paper's Table II (§VI).
+
+The industrial case differs from the pipe: the matrix is complex and
+non-symmetric, and the surface (dense) part carries a larger share of the
+unknowns (the BEM mesh includes the wing and fuselage, not just the flow
+surface), so compressing the dense part pays more.  The nine rows follow
+the paper's progression:
+
+1-3.  all compression off — the advanced coupling and multi-factorization
+      cannot run by lack of memory; multi-solve is the only survivor;
+4-5.  BLR compression in the sparse solver — multi-factorization now
+      completes, using more memory but less time than multi-solve;
+6-7.  compression in both solvers — a larger improvement again;
+8-9.  larger Schur blocks (smaller n_b) — fewer refactorizations, so less
+      time at the cost of more memory.
+
+Run:  python examples/industrial_aircraft.py [N]
+"""
+
+import sys
+
+from repro.runner import render_table2, run_table2
+
+
+def main() -> None:
+    n_total = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    rows = run_table2(n_total=n_total)
+    print(render_table2(rows))
+    print(
+        "\nPaper (qualitative): only multi-solve survives without "
+        "compression; sparse\ncompression lets multi-factorization "
+        "complete; dense compression improves both\nfurther; growing the "
+        "Schur blocks accelerates multi-factorization at a memory\ncost — "
+        "making it the production choice on this class of machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

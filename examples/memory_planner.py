@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Memory planner — extrapolate footprints to the paper's node sizes.
+
+Uses the analytic memory model (:mod:`repro.memory.model`), optionally
+calibrated against measured logical footprints from a small run, to
+predict the largest coupled FEM/BEM system each algorithm can process on
+a node with a given amount of RAM — regenerating the paper's headline
+numbers (Fig. 10: 9M unknowns for compressed multi-solve, ~2.5M for
+multi-factorization, ~1.3M for the advanced coupling on 128 GiB).
+
+Run:  python examples/memory_planner.py [RAM_GiB]
+"""
+
+import sys
+
+from repro import SolverConfig, fmt_bytes, generate_pipe_case, solve_coupled
+from repro.memory.model import (
+    ALGORITHMS,
+    CouplingMemoryModel,
+    paper_pipe_dims,
+    predict_max_unknowns,
+)
+
+
+def calibrate() -> CouplingMemoryModel:
+    """Fit model coefficients from one small measured run per component."""
+    problem = generate_pipe_case(6_000)
+    sol = solve_coupled(
+        problem, "multi_solve",
+        SolverConfig(dense_backend="hmat", n_c=128, n_s_block=512),
+    )
+    factor_bytes = sol.stats.sparse_factor_bytes
+    hodlr_bytes = sol.stats.schur_bytes
+    model = CouplingMemoryModel(itemsize=8, sparse_compression=True)
+    return model.calibrated(
+        factor_samples=[(problem.n_fem, factor_bytes)],
+        hodlr_samples=[(problem.n_bem, hodlr_bytes)],
+    )
+
+
+def main() -> None:
+    ram_gib = float(sys.argv[1]) if len(sys.argv) > 1 else 128.0
+    limit = int(ram_gib * 1024**3)
+    print("Calibrating the memory model from a small measured run ...")
+    model = calibrate()
+    print(
+        f"  fitted: factor coefficient = {model.sparse_factor_coeff:.2f}, "
+        f"mean HODLR rank = {model.hodlr_rank:.1f}\n"
+    )
+    print(
+        f"Predicted largest processable system on a {ram_gib:.0f} GiB node "
+        "(paper's pipe ratio):"
+    )
+    paper = {
+        "multi_solve_compressed": "9,000,000",
+        "multi_solve": "7,000,000",
+        "multi_factorization": "2,500,000",
+        "multi_factorization_compressed": "2,500,000",
+        "advanced": "1,300,000",
+        "baseline": "(not reported)",
+    }
+    for algorithm in ALGORITHMS:
+        n_max = predict_max_unknowns(model, algorithm, limit)
+        dims = paper_pipe_dims(max(n_max, 10_000))
+        comps = model.peak_components(algorithm, dims)
+        dominant = max(comps, key=comps.get)
+        print(
+            f"  {algorithm:<32} N_max = {n_max:>13,}   "
+            f"(dominant: {dominant}, {fmt_bytes(comps[dominant])}; "
+            f"paper: {paper.get(algorithm, 'n/a')})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Pipe capacity study — the scaled analog of the paper's Figs. 10 and 11.
+
+Sweeps the coupled-system size N over the scaled study grid, runs every
+algorithm/coupling with its configuration grid under the scaled memory
+limit, and reports the best feasible time per cell plus the largest
+processable system per approach (the paper's headline result: 9M unknowns
+for compressed multi-solve versus 1.3M for the standard coupling).
+
+Run:  python examples/pipe_capacity_study.py            # moderate sizes
+      python examples/pipe_capacity_study.py --full     # full study grid
+"""
+
+import sys
+
+from repro.runner import (
+    PIPE_STUDY_SIZES,
+    render_fig10,
+    render_fig11,
+    run_fig10_fig11,
+)
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    sizes = PIPE_STUDY_SIZES if full else PIPE_STUDY_SIZES[:4]
+    print(
+        f"Capacity study over N = {sizes} "
+        f"({'full' if full else 'reduced'} grid; use --full for the "
+        "complete sweep)\n"
+    )
+    rows = run_fig10_fig11(sizes=sizes)
+    print(render_fig10(rows))
+    print()
+    print(render_fig11(rows))
+
+
+if __name__ == "__main__":
+    main()

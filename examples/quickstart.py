@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: solve one coupled FEM/BEM system four ways.
+
+Generates the scaled short-pipe test case, runs the two standard couplings
+(baseline, advanced) and the paper's two algorithms (multi-solve,
+multi-factorization) in both their uncompressed (MUMPS/SPIDO analog) and
+compressed-Schur (MUMPS/HMAT analog) variants, and prints time, peak
+logical memory, Schur storage and relative error for each.
+
+Run:  python examples/quickstart.py [N]
+"""
+
+import sys
+import time
+
+from repro import SolverConfig, fmt_bytes, generate_pipe_case, solve_coupled
+
+
+def main() -> None:
+    n_total = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+    print(f"Generating the short-pipe coupled system with N = {n_total:,} ...")
+    problem = generate_pipe_case(n_total)
+    print(
+        f"  {problem.n_fem:,} FEM (sparse) unknowns, "
+        f"{problem.n_bem:,} BEM (dense) unknowns\n"
+    )
+
+    runs = [
+        ("baseline", SolverConfig(dense_backend="spido")),
+        ("advanced", SolverConfig(dense_backend="spido")),
+        ("multi_solve", SolverConfig(dense_backend="spido", n_c=128)),
+        ("multi_solve",
+         SolverConfig(dense_backend="hmat", n_c=128, n_s_block=512)),
+        ("multi_factorization", SolverConfig(dense_backend="spido", n_b=2)),
+        ("multi_factorization", SolverConfig(dense_backend="hmat", n_b=2)),
+    ]
+
+    header = (
+        f"{'algorithm':<22} {'coupling':<12} {'time':>8} {'peak mem':>12} "
+        f"{'Schur store':>12} {'S ratio':>8} {'rel error':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm, config in runs:
+        t0 = time.perf_counter()
+        sol = solve_coupled(problem, algorithm, config)
+        elapsed = time.perf_counter() - t0
+        s = sol.stats
+        print(
+            f"{algorithm:<22} {s.coupling:<12} {elapsed:>7.2f}s "
+            f"{fmt_bytes(s.peak_bytes):>12} {fmt_bytes(s.schur_bytes):>12} "
+            f"{s.schur_compression_ratio:>8.3f} {sol.relative_error:>10.2e}"
+        )
+
+    print(
+        "\nNote how the compressed-Schur (MUMPS/HMAT) variants shrink the "
+        "stored Schur\ncomplement while keeping the relative error below "
+        "the compression tolerance\n(epsilon = 1e-3), the behaviour of the "
+        "paper's Figures 10-11."
+    )
+
+
+if __name__ == "__main__":
+    main()

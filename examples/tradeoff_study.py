@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Performance/memory trade-off study — scaled analog of Figs. 12 and 13.
+
+Figure 12: multi-solve at fixed N, sweeping the solve block width ``n_c``
+(baseline variant) and the Schur block width ``n_S`` (compressed variant,
+with ``n_c`` pinned) — showing why the paper dissociates the two
+parameters.
+
+Figure 13: multi-factorization at fixed N, sweeping the Schur block count
+``n_b`` — showing the superfluous-refactorization cost versus the memory
+saved by smaller Schur blocks.
+
+Run:  python examples/tradeoff_study.py [N_fig12] [N_fig13]
+"""
+
+import sys
+
+from repro.runner import render_fig12, render_fig13, run_fig12, run_fig13
+
+
+def main() -> None:
+    n12 = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    n13 = int(sys.argv[2]) if len(sys.argv) > 2 else 4_000
+
+    print(f"Multi-solve trade-off at N = {n12:,} (paper Fig. 12 at N = 2M)\n")
+    print(render_fig12(run_fig12(n_total=n12)))
+
+    print(
+        f"\n\nMulti-factorization trade-off at N = {n13:,} "
+        "(paper Fig. 13 at N = 1M)\n"
+    )
+    print(render_fig13(run_fig13(n_total=n13)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""The advanced sparse/dense solver coupling (paper §II-F).
+
+A single *sparse factorization+Schur* call on the assembled coupled matrix
+
+.. math::
+
+    W = \\begin{pmatrix} A_{vv} & A_{sv}^T \\\\ A_{sv} & 0 \\end{pmatrix}
+
+returns (dense, per the solver API) the Schur block
+:math:`-A_{sv} A_{vv}^{-1} A_{sv}^T`; adding :math:`A_{ss}` yields ``S``.
+The sparse solver manages the sparsity and BLAS-3 efficiency of the whole
+condensation internally — the performance-optimal standard coupling — but
+the dense ``S`` (plus ``A_ss``) caps the reachable problem size, which is
+precisely the limitation (§II-G2) the multi-factorization algorithm
+works around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import SolverConfig
+from repro.core.result import CoupledSolution
+from repro.core.schur_tools import (
+    DenseSchurContainer,
+    RunContext,
+    finalize_solution,
+)
+from repro.fembem.cases import CoupledProblem
+from repro.sparse.solver import SparseSolver
+from repro.utils.errors import ConfigurationError
+
+
+def make_advanced_context(
+    problem: CoupledProblem, config: SolverConfig
+) -> RunContext:
+    """Validate the configuration and create the run context."""
+    if config.dense_backend != "spido":
+        raise ConfigurationError(
+            "the advanced coupling receives S dense from the sparse "
+            "solver; use dense_backend='spido' (multi-factorization is "
+            "its compressed evolution)"
+        )
+    return RunContext(problem, config, "advanced")
+
+
+def assemble_advanced(ctx: RunContext):
+    """Run the advanced-coupling assembly and factorization phases.
+
+    Returns ``(mf, container, sparse_factor_bytes)`` with both
+    factorizations alive for repeated right-hand sides.
+    """
+    problem, config = ctx.problem, ctx.config
+    sparse = SparseSolver(
+        ordering=config.ordering,
+        leaf_size=config.nd_leaf_size,
+        amalgamate=config.amalgamate,
+        blr=config.blr_config(),
+        tracker=ctx.tracker,
+    )
+
+    n_v, n_s = problem.n_fem, problem.n_bem
+    w = sp.bmat(
+        [[problem.a_vv, problem.a_sv.T], [problem.a_sv, None]], format="csr"
+    )
+    schur_vars = np.arange(n_v, n_v + n_s)
+
+    with ctx.timer.phase("sparse_factorization_schur"):
+        mf = sparse.factorize_schur(
+            w, schur_vars, coords_interior=problem.coords_v,
+            symmetric_values=problem.symmetric,
+        )
+    ctx.n_sparse_factorizations += 1
+    sparse_factor_bytes = mf.factor_bytes
+
+    x_block, x_alloc = mf.take_schur()
+    with ctx.timer.phase("schur_assembly"):
+        container = DenseSchurContainer(
+            problem, config, ctx.tracker, start_from_a_ss=True
+        )
+        container.s += x_block
+    del x_block
+    x_alloc.free()
+
+    with ctx.timer.phase("dense_factorization"):
+        container.factorize(ctx.tracker)
+
+    return mf, container, sparse_factor_bytes
+
+
+def solve_advanced(
+    problem: CoupledProblem, config: SolverConfig = SolverConfig()
+) -> CoupledSolution:
+    """Solve the coupled system with the advanced (Schur-feature) coupling."""
+    ctx = make_advanced_context(problem, config)
+    mf, container, sparse_factor_bytes = assemble_advanced(ctx)
+    return finalize_solution(ctx, mf, container, sparse_factor_bytes)

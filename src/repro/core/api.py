@@ -1,0 +1,62 @@
+"""Top-level dispatch for the coupled solution algorithms."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.advanced import solve_advanced
+from repro.core.baseline import solve_baseline
+from repro.core.config import SolverConfig
+from repro.core.multi_factorization import solve_multi_factorization
+from repro.core.multi_solve import solve_multi_solve
+from repro.core.result import CoupledSolution
+from repro.fembem.cases import CoupledProblem
+from repro.utils.errors import ConfigurationError
+
+#: Registry of coupling algorithms by name.
+ALGORITHMS: Dict[str, Callable[[CoupledProblem, SolverConfig], CoupledSolution]] = {
+    "baseline": solve_baseline,
+    "advanced": solve_advanced,
+    "multi_solve": solve_multi_solve,
+    "multi_factorization": solve_multi_factorization,
+}
+
+
+def solve_coupled(
+    problem: CoupledProblem,
+    algorithm: str = "multi_solve",
+    config: SolverConfig = SolverConfig(),
+) -> CoupledSolution:
+    """Solve a coupled FEM/BEM system with the named algorithm.
+
+    Parameters
+    ----------
+    problem:
+        The coupled system (see :func:`repro.fembem.generate_pipe_case` /
+        :func:`repro.fembem.generate_aircraft_case`).
+    algorithm:
+        One of ``"baseline"``, ``"advanced"``, ``"multi_solve"``,
+        ``"multi_factorization"``.  The compressed-Schur variants of the
+        latter two are selected by ``config.dense_backend == "hmat"``.
+    config:
+        Solver configuration (block sizes, tolerances, memory limit).
+
+    Returns
+    -------
+    CoupledSolution
+        Solution vectors, statistics and the relative error against the
+        problem's manufactured exact solution.
+
+    Raises
+    ------
+    repro.utils.MemoryLimitExceeded
+        When ``config.memory_limit`` is set and the algorithm's logical
+        footprint would exceed it (the paper's out-of-memory analog).
+    """
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        )
+    return fn(problem, config)

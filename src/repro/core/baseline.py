@@ -1,0 +1,110 @@
+"""The baseline sparse/dense solver coupling (paper §II-E).
+
+One sparse factorization of :math:`A_{vv}`, then a *single* sparse solve
+with all of :math:`A_{sv}^T` as right-hand side — whose result, due to the
+solver API, comes back as a huge dense ``n_v × n_s`` matrix (the paper's
+"2.6 TiB of extra RAM" pathology) — an SpMM, the dense Schur subtraction,
+and an uncompressed dense factorization of :math:`S`.
+
+This is the state-of-the-art coupling found in prior work (§III) and the
+starting point of the multi-solve algorithm; it exists here both as a
+correctness reference and as the memory baseline the paper improves on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.result import CoupledSolution
+from repro.core.schur_tools import (
+    DenseSchurContainer,
+    RunContext,
+    finalize_solution,
+)
+from repro.fembem.cases import CoupledProblem
+from repro.sparse.solver import SparseSolver
+from repro.utils.errors import ConfigurationError
+
+
+def make_baseline_context(
+    problem: CoupledProblem, config: SolverConfig
+) -> RunContext:
+    """Validate the configuration and create the run context.
+
+    Only the uncompressed dense backend is meaningful here (the Schur
+    complement and the sparse-solve result are dense by construction).
+    """
+    if config.dense_backend != "spido":
+        raise ConfigurationError(
+            "the baseline coupling stores S dense; use dense_backend="
+            "'spido' (the multi-solve algorithm is its compressed "
+            "evolution)"
+        )
+    return RunContext(problem, config, "baseline")
+
+
+def assemble_baseline(ctx: RunContext):
+    """Run the baseline-coupling assembly and factorization phases.
+
+    Returns ``(mf, container, sparse_factor_bytes)`` with both
+    factorizations alive for repeated right-hand sides.
+    """
+    problem, config = ctx.problem, ctx.config
+    sparse = SparseSolver(
+        ordering=config.ordering,
+        leaf_size=config.nd_leaf_size,
+        amalgamate=config.amalgamate,
+        blr=config.blr_config(),
+        tracker=ctx.tracker,
+    )
+
+    with ctx.timer.phase("sparse_factorization"):
+        mf = sparse.factorize(
+            problem.a_vv, coords=problem.coords_v,
+            symmetric_values=problem.symmetric,
+        )
+    ctx.n_sparse_factorizations += 1
+    sparse_factor_bytes = mf.factor_bytes
+
+    # the defining (and memory-pathological) step: Y = A_vv^{-1} A_sv^T,
+    # retrieved as one dense n_v-by-n_s matrix
+    rhs = problem.a_sv.T.tocsr()
+    itemsize = np.dtype(problem.dtype).itemsize
+    y_alloc = ctx.tracker.allocate(
+        problem.n_fem * problem.n_bem * itemsize,
+        category="solve_panel", label="dense A_vv^-1 A_sv^T",
+    )
+    with ctx.timer.phase("sparse_solve"):
+        y = mf.solve(rhs, exploit_sparsity=config.exploit_sparse_rhs)
+    ctx.n_sparse_solves += 1
+
+    with ctx.tracker.borrow(
+        problem.n_bem * problem.n_bem * itemsize,
+        category="spmm_panel", label="A_sv Y",
+    ):
+        with ctx.timer.phase("spmm"):
+            z = problem.a_sv @ y
+        del y
+        y_alloc.free()
+
+        with ctx.timer.phase("schur_assembly"):
+            container = DenseSchurContainer(
+                problem, config, ctx.tracker, start_from_a_ss=True
+            )
+            container.s -= z
+        del z
+
+    with ctx.timer.phase("dense_factorization"):
+        container.factorize(ctx.tracker)
+
+    return mf, container, sparse_factor_bytes
+
+
+def solve_baseline(
+    problem: CoupledProblem, config: SolverConfig = SolverConfig()
+) -> CoupledSolution:
+    """Solve the coupled system with the baseline coupling."""
+    ctx = make_baseline_context(problem, config)
+    mf, container, sparse_factor_bytes = assemble_baseline(ctx)
+    return finalize_solution(ctx, mf, container, sparse_factor_bytes)

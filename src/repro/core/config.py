@@ -1,0 +1,154 @@
+"""Configuration of the coupled solvers.
+
+One :class:`SolverConfig` instance drives every algorithm; its fields map
+directly onto the parameters the paper studies:
+
+* ``n_c`` — columns of ``A_svᵀ`` per blocked sparse solve in multi-solve
+  (also the number of simultaneous right-hand sides the sparse solver
+  processes; Fig. 12 sweeps 32–256);
+* ``n_s_block`` (the paper's ``n_S``) — columns of each Schur block in
+  *compressed* multi-solve, dissociated from ``n_c`` to amortise the
+  recompression cost (Fig. 12 sweeps 512–4096);
+* ``n_b`` — number of square Schur blocks per side in multi-factorization
+  (Fig. 13 sweeps 1–4; more blocks = less memory, more superfluous
+  refactorizations);
+* ``epsilon`` — low-rank precision of both the sparse (BLR) and dense
+  (hierarchical) compression (paper: 1e-3 pipe, 1e-4 industrial);
+* ``dense_backend`` — ``"spido"`` (uncompressed dense Schur) versus
+  ``"hmat"`` (compressed Schur), i.e. the MUMPS/SPIDO and MUMPS/HMAT
+  couplings;
+* ``sparse_compression`` — BLR on/off in the sparse solver (Table II rows
+  1–3 versus 4+);
+* ``memory_limit`` — hard logical-memory cap; exceeding it raises
+  :class:`repro.utils.MemoryLimitExceeded` (the paper's OOM analog).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.memory.tracker import MemoryTracker
+from repro.sparse.blr import BLRConfig
+from repro.utils.errors import ConfigurationError
+
+_DENSE_BACKENDS = ("spido", "hmat", "spido_ooc")
+_COMPRESSORS = ("svd", "aca")
+_ORDERINGS = ("geometric", "graph")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Tuning knobs of the coupled solution algorithms (see module docs)."""
+
+    dense_backend: str = "spido"
+    epsilon: float = 1e-3
+    sparse_compression: bool = True
+    n_c: int = 256
+    n_s_block: int = 2048
+    n_b: int = 2
+    ordering: str = "geometric"
+    nd_leaf_size: int = 96
+    amalgamate: int = 32
+    hodlr_leaf_size: int = 64
+    dense_block_size: int = 128
+    compressor: str = "svd"
+    compression_safety: float = 0.02
+    blr_min_panel: int = 64
+    exploit_sparse_rhs: bool = True
+    memory_limit: Optional[int] = None
+    #: Compressed multi-solve Schur assembly: ``"blocked"`` is the paper's
+    #: Algorithm 2 (dense column panels compressed after the fact);
+    #: ``"randomized"`` builds every low-rank block of S directly in
+    #: compressed form by randomized sampling — the paper's §VII
+    #: future-work direction (see :mod:`repro.core.randomized`).
+    schur_assembly: str = "blocked"
+    randomized_start_rank: int = 16
+    randomized_oversample: int = 8
+    seed: int = 0
+    #: Steps of iterative refinement after the direct solve: the (possibly
+    #: compressed) factorizations precondition a residual correction
+    #: evaluated against the *exact* operator, recovering accuracy below
+    #: the compression tolerance for a couple of extra solves.  0 (the
+    #: paper's setting) disables it.
+    refinement_steps: int = 0
+    #: Beyond the paper: when the coupled system is symmetric, the diagonal
+    #: W blocks (i == j) of multi-factorization *are* symmetric, and a
+    #: solver able to exploit that halves their factor storage.  The paper's
+    #: solvers cannot ("we can not rely on a symmetric mode of the direct
+    #: solver", §IV-B1) — the default stays faithful to that constraint;
+    #: enabling this measures what the constraint costs (ablation bench).
+    mf_exploit_diagonal_symmetry: bool = False
+
+    def __post_init__(self):
+        if self.dense_backend not in _DENSE_BACKENDS:
+            raise ConfigurationError(
+                f"dense_backend must be one of {_DENSE_BACKENDS}"
+            )
+        if self.compressor not in _COMPRESSORS:
+            raise ConfigurationError(f"compressor must be one of {_COMPRESSORS}")
+        if self.ordering not in _ORDERINGS:
+            raise ConfigurationError(f"ordering must be one of {_ORDERINGS}")
+        if self.epsilon <= 0:
+            raise ConfigurationError("epsilon must be positive")
+        if not 0.0 < self.compression_safety <= 1.0:
+            raise ConfigurationError(
+                "compression_safety must be in (0, 1]"
+            )
+        for name in ("n_c", "n_s_block", "n_b", "nd_leaf_size",
+                     "hodlr_leaf_size", "dense_block_size"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.memory_limit is not None and self.memory_limit <= 0:
+            raise ConfigurationError("memory_limit must be positive or None")
+        if self.schur_assembly not in ("blocked", "randomized"):
+            raise ConfigurationError(
+                "schur_assembly must be 'blocked' or 'randomized'"
+            )
+        if self.randomized_start_rank < 1 or self.randomized_oversample < 1:
+            raise ConfigurationError(
+                "randomized rank parameters must be >= 1"
+            )
+        if self.refinement_steps < 0:
+            raise ConfigurationError("refinement_steps must be >= 0")
+
+    @property
+    def hierarchical_tol(self) -> float:
+        """Internal rounding tolerance of the hierarchical Schur container.
+
+        Repeated compressed-AXPY recompressions and H-LU updates accumulate
+        roundoff; rounding a safety factor below the target ε keeps the
+        final relative error under ε (the behaviour Fig. 11 reports).
+        """
+        return self.epsilon * self.compression_safety
+
+    @property
+    def coupling_name(self) -> str:
+        """The paper's coupling label for this configuration."""
+        return {
+            "hmat": "MUMPS/HMAT",
+            "spido": "MUMPS/SPIDO",
+            # out-of-core uncompressed dense Schur — §VII future work
+            "spido_ooc": "MUMPS/SPIDO-OOC",
+        }[self.dense_backend]
+
+    @property
+    def ooc_panel_width(self) -> int:
+        """Column-panel width of the out-of-core dense backend."""
+        return max(self.n_c, self.dense_block_size)
+
+    def blr_config(self) -> Optional[BLRConfig]:
+        """BLR settings for the sparse solver (None = compression off)."""
+        if not self.sparse_compression:
+            return None
+        return BLRConfig(
+            enabled=True, tol=self.epsilon, min_panel=self.blr_min_panel
+        )
+
+    def make_tracker(self, name: str = "") -> MemoryTracker:
+        """Fresh memory tracker honouring ``memory_limit``."""
+        return MemoryTracker(limit_bytes=self.memory_limit, name=name)
+
+    def with_(self, **changes) -> "SolverConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)

@@ -1,0 +1,166 @@
+"""Factorize once, solve many right-hand sides.
+
+The paper's pipeline (and :func:`repro.core.solve_coupled`) solves the one
+right-hand side carried by the test case.  Production acoustic studies
+sweep many excitations (load cases) against the same aircraft at the same
+frequency — i.e. many right-hand sides against one factorization.
+:class:`CoupledFactorization` keeps the expensive state alive — the sparse
+factorization of :math:`A_{vv}` and the factored Schur complement, built
+by any of the four coupling algorithms — and exposes a repeatable
+``solve(b_v, b_s)``.
+
+Example
+-------
+>>> from repro import generate_pipe_case, SolverConfig
+>>> from repro.core.factorized import CoupledFactorization
+>>> problem = generate_pipe_case(2_000)
+>>> fact = CoupledFactorization(problem, "multi_solve",
+...                             SolverConfig(dense_backend="hmat"))
+>>> x_v, x_s = fact.solve(problem.b_v, problem.b_s)   # first load case
+>>> x_v2, x_s2 = fact.solve(2 * problem.b_v, problem.b_s)  # next one
+>>> fact.free()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.advanced import assemble_advanced, make_advanced_context
+from repro.core.baseline import assemble_baseline, make_baseline_context
+from repro.core.config import SolverConfig
+from repro.core.multi_factorization import (
+    assemble_multi_factorization,
+    make_multi_factorization_context,
+)
+from repro.core.multi_solve import (
+    assemble_multi_solve,
+    make_multi_solve_context,
+)
+from repro.core.result import SolveStats
+from repro.core.schur_tools import _coupled_solve
+from repro.fembem.cases import CoupledProblem
+from repro.utils.errors import ConfigurationError
+
+_ASSEMBLERS = {
+    "baseline": (make_baseline_context, assemble_baseline),
+    "advanced": (make_advanced_context, assemble_advanced),
+    "multi_solve": (make_multi_solve_context, assemble_multi_solve),
+    "multi_factorization": (
+        make_multi_factorization_context, assemble_multi_factorization,
+    ),
+}
+
+
+class CoupledFactorization:
+    """Reusable factorization of a coupled FEM/BEM system.
+
+    Parameters
+    ----------
+    problem:
+        The coupled system (its embedded right-hand side is ignored here;
+        pass load cases to :meth:`solve`).
+    algorithm:
+        One of the four coupling algorithms; the compressed variants are
+        selected by ``config.dense_backend`` as usual.
+    config:
+        Solver configuration.  ``config.refinement_steps`` applies to
+        every subsequent :meth:`solve` (override per call).
+    """
+
+    def __init__(
+        self,
+        problem: CoupledProblem,
+        algorithm: str = "multi_solve",
+        config: SolverConfig = SolverConfig(),
+    ):
+        try:
+            make_context, assemble = _ASSEMBLERS[algorithm]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}; "
+                f"available: {sorted(_ASSEMBLERS)}"
+            )
+        self.problem = problem
+        self.config = config
+        self.algorithm = algorithm
+        self._ctx = make_context(problem, config)
+        self._mf, self._container, self._sparse_factor_bytes = assemble(
+            self._ctx
+        )
+        self._freed = False
+        self.n_solves = 0
+
+    # -- solving --------------------------------------------------------------
+    def solve(
+        self,
+        b_v: np.ndarray,
+        b_s: np.ndarray,
+        refinement_steps: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve for one load case ``(b_v, b_s)``.
+
+        Accepts vectors or matrices of stacked load-case columns; returns
+        ``(x_v, x_s)`` with matching shapes.
+        """
+        if self._freed:
+            raise RuntimeError("factorization has been freed")
+        b_v = np.asarray(b_v)
+        b_s = np.asarray(b_s)
+        if b_v.shape[0] != self.problem.n_fem:
+            raise ConfigurationError(
+                f"b_v has {b_v.shape[0]} rows, expected {self.problem.n_fem}"
+            )
+        if b_s.shape[0] != self.problem.n_bem:
+            raise ConfigurationError(
+                f"b_s has {b_s.shape[0]} rows, expected {self.problem.n_bem}"
+            )
+        steps = (
+            self.config.refinement_steps if refinement_steps is None
+            else refinement_steps
+        )
+        p = self.problem
+        x_v, x_s = _coupled_solve(self._ctx, self._mf, self._container,
+                                  b_v, b_s)
+        for _ in range(steps):
+            with self._ctx.timer.phase("iterative_refinement"):
+                r_v = b_v - (p.a_vv @ x_v + p.a_sv.T @ x_s)
+                r_s = b_s - (p.a_sv @ x_v + p.a_ss_op.matvec(x_s))
+            d_v, d_s = _coupled_solve(self._ctx, self._mf, self._container,
+                                      r_v, r_s)
+            x_v = x_v + d_v
+            x_s = x_s + d_s
+        self.n_solves += 1
+        return x_v, x_s
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def stats(self) -> SolveStats:
+        """Statistics snapshot (assembly phases + solves so far)."""
+        return self._ctx.stats(
+            self._container.stored_bytes, self._sparse_factor_bytes
+        )
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._ctx.tracker.peak
+
+    def free(self) -> None:
+        """Release both factorizations."""
+        if not self._freed:
+            self._freed = True
+            self._container.free()
+            self._mf.free()
+
+    def __enter__(self) -> "CoupledFactorization":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CoupledFactorization({self.algorithm!r}, "
+            f"n={self.problem.n_total}, solves={self.n_solves})"
+        )

@@ -1,0 +1,169 @@
+"""The multi-solve algorithm (paper §IV-A, Algorithms 1 and 2).
+
+Multi-solve evolves the baseline coupling: instead of one sparse solve with
+all of :math:`A_{sv}^T`, the Schur complement is assembled by **blocks of
+columns** through successive blocked sparse solves,
+
+.. math::
+
+    Y_i = A_{vv}^{-1} (A_{sv}^T)_i, \\quad
+    Z_i = A_{sv} Y_i, \\quad
+    S_i = A_{ss_i} - Z_i ,
+
+so the dense working set shrinks from ``n_v × n_s`` to ``n_v × n_c``.
+
+* With the uncompressed dense backend (MUMPS/SPIDO) this is the
+  **baseline multi-solve** (Algorithm 1): ``S`` still lives in a dense
+  buffer, but the huge solve panel never exists.
+* With the hierarchical backend (MUMPS/HMAT) this is the
+  **compressed-Schur multi-solve** (Algorithm 2): ``S`` starts as the
+  ACA-compressed :math:`A_{ss}` and each dense ``Z_i`` is folded in by a
+  *compressed AXPY* (compression + recompression).  The Schur block width
+  ``n_S`` (``config.n_s_block``) is dissociated from the solve block width
+  ``n_c`` to amortise recompression cost, exactly as §IV-A2 argues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.result import CoupledSolution
+from repro.core.schur_tools import (
+    RunContext,
+    finalize_solution,
+    make_schur_container,
+)
+from repro.fembem.cases import CoupledProblem
+from repro.sparse.solver import SparseSolver
+
+
+def make_multi_solve_context(
+    problem: CoupledProblem, config: SolverConfig
+) -> RunContext:
+    """Validate the configuration and create the run context."""
+    compressed = config.dense_backend == "hmat"
+    if config.schur_assembly == "randomized" and not compressed:
+        from repro.utils.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "schur_assembly='randomized' builds the *compressed* Schur "
+            "blocks directly; it requires dense_backend='hmat'"
+        )
+    name = "multi_solve_compressed" if compressed else "multi_solve"
+    return RunContext(problem, config, name)
+
+
+def assemble_multi_solve(ctx: RunContext):
+    """Run the multi-solve Schur assembly and factorization phases.
+
+    Returns ``(mf, container, sparse_factor_bytes)`` with the sparse
+    factorization and the factored Schur container alive — the pieces a
+    :class:`repro.core.factorized.CoupledFactorization` keeps for
+    repeated right-hand sides.
+    """
+    problem, config = ctx.problem, ctx.config
+    compressed = config.dense_backend == "hmat"
+    sparse = SparseSolver(
+        ordering=config.ordering,
+        leaf_size=config.nd_leaf_size,
+        amalgamate=config.amalgamate,
+        blr=config.blr_config(),
+        tracker=ctx.tracker,
+    )
+
+    with ctx.timer.phase("sparse_factorization"):
+        mf = sparse.factorize(
+            problem.a_vv, coords=problem.coords_v,
+            symmetric_values=problem.symmetric,
+        )
+    ctx.n_sparse_factorizations += 1
+    sparse_factor_bytes = mf.factor_bytes
+
+    with ctx.timer.phase("schur_init"):
+        container = make_schur_container(problem, config, ctx.tracker)
+
+    n_s = problem.n_bem
+    n_c = min(config.n_c, n_s)
+    itemsize = np.dtype(problem.dtype).itemsize
+    a_sv_t = problem.a_sv.T.tocsc()
+    all_rows = np.arange(n_s)
+
+    def solve_panel(col_lo: int, col_hi: int) -> np.ndarray:
+        """One blocked sparse solve + SpMM: ``Z = A_sv A_vv^{-1} (A_sv^T)_block``."""
+        rhs = a_sv_t[:, col_lo:col_hi].tocsr()
+        with ctx.tracker.borrow(
+            problem.n_fem * (col_hi - col_lo) * itemsize,
+            category="solve_panel", label="Y_i block",
+        ):
+            with ctx.timer.phase("sparse_solve"):
+                y = mf.solve(rhs, exploit_sparsity=config.exploit_sparse_rhs)
+            ctx.n_sparse_solves += 1
+            with ctx.timer.phase("spmm"):
+                z = problem.a_sv @ y
+        return z
+
+    if not compressed:
+        # Algorithm 1: dense S, assembled column block by column block
+        for lo in range(0, n_s, n_c):
+            hi = min(n_s, lo + n_c)
+            z = solve_panel(lo, hi)
+            with ctx.timer.phase("schur_assembly"):
+                container.subtract_block(z, all_rows, np.arange(lo, hi))
+            del z
+    elif config.schur_assembly == "randomized":
+        # future-work variant (§VII): every low-rank block of S is built
+        # directly in compressed form by randomized sampling of the
+        # correction operator — no dense Z panel ever exists
+        from repro.core.randomized import (
+            CorrectionSampler,
+            subtract_randomized_correction,
+        )
+
+        def count_solve():
+            ctx.n_sparse_solves += 1
+
+        sampler = CorrectionSampler(
+            mf, problem.a_sv, exploit_sparsity=config.exploit_sparse_rhs,
+            on_solve=count_solve,
+        )
+        rng = np.random.default_rng(config.seed)
+        with ctx.timer.phase("schur_compression"):
+            subtract_randomized_correction(
+                container.s, sampler, config.hierarchical_tol, rng,
+                problem.dtype,
+                start_rank=config.randomized_start_rank,
+                oversample=config.randomized_oversample,
+            )
+            container._resync()
+    else:
+        # Algorithm 2: compressed S; inner n_c loop fills a dense Z_i of
+        # n_S columns, folded in by one compressed AXPY per outer block
+        n_s_block = min(config.n_s_block, n_s)
+        for lo in range(0, n_s, n_s_block):
+            hi = min(n_s, lo + n_s_block)
+            with ctx.tracker.borrow(
+                n_s * (hi - lo) * itemsize,
+                category="spmm_panel", label="Z_i block",
+            ):
+                z_i = np.empty((n_s, hi - lo), dtype=problem.dtype)
+                for jlo in range(lo, hi, n_c):
+                    jhi = min(hi, jlo + n_c)
+                    z_i[:, jlo - lo : jhi - lo] = solve_panel(jlo, jhi)
+                with ctx.timer.phase("schur_compression"):
+                    container.subtract_block(z_i, all_rows, np.arange(lo, hi))
+                del z_i
+
+    with ctx.timer.phase("dense_factorization"):
+        container.factorize(ctx.tracker)
+    return mf, container, sparse_factor_bytes
+
+
+def solve_multi_solve(
+    problem: CoupledProblem, config: SolverConfig = SolverConfig()
+) -> CoupledSolution:
+    """Solve the coupled system with multi-solve (compressed iff the
+    dense backend is ``"hmat"``)."""
+    ctx = make_multi_solve_context(problem, config)
+    mf, container, sparse_factor_bytes = assemble_multi_solve(ctx)
+    return finalize_solution(ctx, mf, container, sparse_factor_bytes)

@@ -1,0 +1,68 @@
+"""Solution and statistics containers returned by the coupled solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.memory.tracker import fmt_bytes
+
+
+@dataclass
+class SolveStats:
+    """Per-run measurements, mirroring the quantities the paper reports.
+
+    ``phases`` holds the wall-clock breakdown (sparse factorization, sparse
+    solve, SpMM, Schur assembly/compression, dense factorization, solves);
+    ``peak_bytes`` is the logical peak of the run's memory tracker, and
+    ``peak_by_category`` its breakdown — the memory axis of Figs. 12/13 and
+    the RAM column of Table II.
+    """
+
+    algorithm: str
+    coupling: str
+    n_total: int
+    n_fem: int
+    n_bem: int
+    phases: Dict[str, float] = field(default_factory=dict)
+    total_time: float = 0.0
+    peak_bytes: int = 0
+    peak_by_category: Dict[str, int] = field(default_factory=dict)
+    schur_bytes: int = 0
+    schur_dense_bytes: int = 0
+    sparse_factor_bytes: int = 0
+    n_sparse_factorizations: int = 0
+    n_sparse_solves: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def schur_compression_ratio(self) -> float:
+        """Stored Schur bytes over dense Schur bytes (1.0 = uncompressed)."""
+        if self.schur_dense_bytes == 0:
+            return float("nan")
+        return self.schur_bytes / self.schur_dense_bytes
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm:<28} {self.coupling:<12} N={self.n_total:<8} "
+            f"time={self.total_time:8.2f}s peak={fmt_bytes(self.peak_bytes):>12} "
+            f"S={fmt_bytes(self.schur_bytes):>12}"
+        )
+
+
+@dataclass
+class CoupledSolution:
+    """Solution of the coupled system plus run statistics."""
+
+    x_v: np.ndarray
+    x_s: np.ndarray
+    stats: SolveStats
+    relative_error: Optional[float] = None
+
+    @property
+    def x(self) -> np.ndarray:
+        """Concatenated solution ``(x_v, x_s)``."""
+        return np.concatenate([self.x_v, self.x_s])

@@ -1,0 +1,355 @@
+"""Shared machinery of the coupling algorithms.
+
+Two pieces live here:
+
+* the **Schur containers** — an uncompressed dense container (SPIDO role)
+  and a hierarchical compressed container (HMAT role) presenting the same
+  interface: start from :math:`A_{ss}`, accept blockwise updates
+  (``S_i = A_{ss_i} − Z_i``, ``S_{ij} = A_{ss_{ij}} + X_{ij}``), factorize
+  and solve.  The compressed container implements the paper's *compressed
+  AXPY* with recompression.
+* the **run context** — couples a memory tracker and a phase timer and
+  finalises a :class:`~repro.core.result.SolveStats`.
+
+The right-hand-side reduction and back-substitution (common to all four
+algorithms, paper eq. (7)) are in :func:`reduce_rhs_and_solve`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.result import SolveStats
+from repro.dense.solver import DenseSolver
+from repro.fembem.cases import CoupledProblem
+from repro.hmatrix.cluster import build_cluster_tree
+from repro.hmatrix.factorization import HLUFactorization
+from repro.hmatrix.hmatrix import build_hodlr
+from repro.memory.tracker import MemoryTracker
+from repro.utils.timer import PhaseTimer
+
+
+class RunContext:
+    """Tracker + timer pair shared by one coupled solve."""
+
+    def __init__(self, problem: CoupledProblem, config: SolverConfig,
+                 algorithm: str):
+        self.problem = problem
+        self.config = config
+        self.algorithm = algorithm
+        self.tracker = config.make_tracker(name=algorithm)
+        self.timer = PhaseTimer()
+        self.n_sparse_factorizations = 0
+        self.n_sparse_solves = 0
+
+    def stats(self, schur_bytes: int, sparse_factor_bytes: int) -> SolveStats:
+        p = self.problem
+        phases = self.timer.phases
+        return SolveStats(
+            algorithm=self.algorithm,
+            coupling=self.config.coupling_name,
+            n_total=p.n_total,
+            n_fem=p.n_fem,
+            n_bem=p.n_bem,
+            phases=phases,
+            total_time=sum(phases.values()),
+            peak_bytes=self.tracker.peak,
+            peak_by_category=self.tracker.peak_categories,
+            schur_bytes=schur_bytes,
+            schur_dense_bytes=p.n_bem * p.n_bem * np.dtype(p.dtype).itemsize,
+            sparse_factor_bytes=sparse_factor_bytes,
+            n_sparse_factorizations=self.n_sparse_factorizations,
+            n_sparse_solves=self.n_sparse_solves,
+            params={
+                "n_c": self.config.n_c,
+                "n_s_block": self.config.n_s_block,
+                "n_b": self.config.n_b,
+                "epsilon": self.config.epsilon,
+                "sparse_compression": self.config.sparse_compression,
+            },
+        )
+
+
+class DenseSchurContainer:
+    """Uncompressed Schur complement in a dense buffer (SPIDO role)."""
+
+    def __init__(self, problem: CoupledProblem, config: SolverConfig,
+                 tracker: MemoryTracker, start_from_a_ss: bool = True):
+        self.problem = problem
+        self.config = config
+        self.tracker = tracker
+        n = problem.n_bem
+        itemsize = np.dtype(problem.dtype).itemsize
+        self._alloc = tracker.allocate(
+            n * n * itemsize, category="schur_store", label="dense Schur S"
+        )
+        if start_from_a_ss:
+            self.s = np.array(problem.a_ss_op.to_dense(), dtype=problem.dtype)
+        else:
+            self.s = np.zeros((n, n), dtype=problem.dtype)
+        self._fact = None
+
+    @property
+    def nbytes(self) -> int:
+        return self._alloc.nbytes if self._alloc.live else 0
+
+    def add_a_ss_block(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """``S[rows, cols] += A_ss[rows, cols]`` (assembled from the kernel)."""
+        self.s[np.ix_(rows, cols)] += self.problem.a_ss_op.block(rows, cols)
+
+    def subtract_block(self, z: np.ndarray, rows: np.ndarray,
+                       cols: np.ndarray) -> None:
+        """``S[rows, cols] -= z`` (plain dense AXPY)."""
+        self.s[np.ix_(rows, cols)] -= z
+
+    def add_block(self, x: np.ndarray, rows: np.ndarray,
+                  cols: np.ndarray) -> None:
+        """``S[rows, cols] += x``."""
+        self.s[np.ix_(rows, cols)] += x
+
+    def factorize(self, tracker: MemoryTracker) -> None:
+        solver = DenseSolver(
+            tracker=tracker, block_size=self.config.dense_block_size
+        )
+        self._fact = solver.factorize(self.s, symmetric=self.problem.symmetric)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self._fact.solve(b)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of the stored Schur representation."""
+        return self.s.nbytes
+
+    def free(self) -> None:
+        if self._fact is not None:
+            self._fact.free()
+            self._fact = None
+        self.s = None
+        self._alloc.free()
+
+
+class HodlrSchurContainer:
+    """Compressed Schur complement in a HODLR structure (HMAT role)."""
+
+    def __init__(self, problem: CoupledProblem, config: SolverConfig,
+                 tracker: MemoryTracker):
+        self.problem = problem
+        self.config = config
+        self.tracker = tracker
+        self.tree = build_cluster_tree(
+            problem.coords_s, leaf_size=config.hodlr_leaf_size
+        )
+        # compressed assembly of A_ss straight from the kernel (ACA); the
+        # internal rounding tolerance sits a safety factor below ε so that
+        # accumulated recompression error stays within the advertised ε
+        self.s = build_hodlr(
+            problem.a_ss_op, self.tree, tol=config.hierarchical_tol
+        )
+        self._alloc = tracker.allocate(
+            self.s.nbytes(), category="schur_store", label="compressed Schur S"
+        )
+        self._fact: Optional[HLUFactorization] = None
+        self._fact_alloc = None
+
+    @property
+    def nbytes(self) -> int:
+        return self._alloc.nbytes if self._alloc.live else 0
+
+    def _resync(self) -> None:
+        self._alloc.resize(self.s.nbytes())
+
+    def subtract_block(self, z: np.ndarray, rows: np.ndarray,
+                       cols: np.ndarray) -> None:
+        """Compressed AXPY ``S[rows, cols] -= z`` with recompression."""
+        self.s.axpy_dense(-1.0, z, rows, cols,
+                          compressor=self.config.compressor)
+        self._resync()
+
+    def add_block(self, x: np.ndarray, rows: np.ndarray,
+                  cols: np.ndarray) -> None:
+        """Compressed AXPY ``S[rows, cols] += x`` with recompression."""
+        self.s.axpy_dense(1.0, x, rows, cols,
+                          compressor=self.config.compressor)
+        self._resync()
+
+    def factorize(self, tracker: MemoryTracker) -> None:
+        # symmetric systems factor with hierarchical LDLᵀ (the paper's
+        # choice for symmetric blocks — half the factor storage of H-LU)
+        if self.problem.symmetric:
+            from repro.hmatrix.ldlt_factorization import HLDLTFactorization
+
+            self._fact = HLDLTFactorization(self.s)
+        else:
+            self._fact = HLUFactorization(self.s)
+        self._fact_alloc = tracker.allocate(
+            self._fact.nbytes(), category="dense_factor",
+            label="hierarchical factors of S",
+        )
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self._fact.solve(b)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.s.nbytes()
+
+    def free(self) -> None:
+        if self._fact_alloc is not None:
+            self._fact_alloc.free()
+            self._fact_alloc = None
+        self._fact = None
+        self.s = None
+        self._alloc.free()
+
+
+class OocSchurContainer:
+    """Out-of-core uncompressed Schur complement (paper §VII future work).
+
+    The dense ``S`` lives on disk (see :mod:`repro.dense.ooc`); only one or
+    two column panels are ever resident, so the quadratic dense storage
+    stops counting against the node's RAM — at the price of streaming the
+    factorization and solves from disk.
+    """
+
+    def __init__(self, problem: CoupledProblem, config: SolverConfig,
+                 tracker: MemoryTracker):
+        from repro.dense.ooc import OutOfCoreDense
+
+        self.problem = problem
+        self.config = config
+        self.tracker = tracker
+        n = problem.n_bem
+        self.store = OutOfCoreDense(
+            n, problem.dtype, panel_width=config.ooc_panel_width,
+            tracker=tracker,
+        )
+        # stream A_ss in panel by panel; the full dense A_ss never exists
+        all_rows = np.arange(n)
+        for lo, hi in self.store.panel_bounds():
+            with tracker.borrow(
+                n * (hi - lo) * np.dtype(problem.dtype).itemsize,
+                category="ooc_panel", label="A_ss assembly panel",
+            ):
+                self.store.write_panel(
+                    lo, hi,
+                    problem.a_ss_op.block(all_rows, np.arange(lo, hi)),
+                )
+
+    @property
+    def disk_bytes(self) -> int:
+        return self.store.disk_bytes
+
+    def _apply(self, sign, block, rows, cols) -> None:
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        n = self.problem.n_bem
+        itemsize = np.dtype(self.problem.dtype).itemsize
+        order = np.argsort(cols, kind="stable")
+        cols_sorted = cols[order]
+        block_sorted = block[:, order]
+        for lo, hi in self.store.panel_bounds():
+            sel = (cols_sorted >= lo) & (cols_sorted < hi)
+            if not sel.any():
+                continue
+            with self.tracker.borrow(
+                n * (hi - lo) * itemsize, category="ooc_panel",
+                label="OOC update panel",
+            ):
+                panel = self.store.read_panel(lo, hi)
+                panel[np.ix_(rows, cols_sorted[sel] - lo)] += (
+                    sign * block_sorted[:, sel]
+                )
+                self.store.write_panel(lo, hi, panel)
+
+    def subtract_block(self, z, rows, cols) -> None:
+        self._apply(-1.0, z, rows, cols)
+
+    def add_block(self, x, rows, cols) -> None:
+        self._apply(1.0, x, rows, cols)
+
+    def factorize(self, tracker: MemoryTracker) -> None:
+        self.store.factorize_lu_inplace()
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self.store.solve(b)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes of the stored Schur representation (on disk here)."""
+        return self.store.disk_bytes
+
+    def free(self) -> None:
+        self.store.close()
+
+
+def make_schur_container(problem: CoupledProblem, config: SolverConfig,
+                         tracker: MemoryTracker, start_from_a_ss: bool = True):
+    """Dense, compressed or out-of-core container per ``config.dense_backend``."""
+    if config.dense_backend == "hmat":
+        return HodlrSchurContainer(problem, config, tracker)
+    if config.dense_backend == "spido_ooc":
+        return OocSchurContainer(problem, config, tracker)
+    return DenseSchurContainer(problem, config, tracker,
+                               start_from_a_ss=start_from_a_ss)
+
+
+def finalize_solution(ctx: RunContext, mf, container,
+                      sparse_factor_bytes: int):
+    """Shared epilogue: coupled solve, stats snapshot, resource release."""
+    from repro.core.result import CoupledSolution
+
+    x_v, x_s = reduce_rhs_and_solve(ctx, mf, container)
+    stats = ctx.stats(container.stored_bytes, sparse_factor_bytes)
+    container.free()
+    mf.free()
+    return CoupledSolution(
+        x_v=x_v, x_s=x_s, stats=stats,
+        relative_error=ctx.problem.relative_error(x_v, x_s),
+    )
+
+
+def _coupled_solve(ctx: RunContext, mf, container, b_v, b_s):
+    """One coupled solve through the factored blocks (paper eq. (7))."""
+    p = ctx.problem
+    with ctx.timer.phase("sparse_solve_rhs"):
+        y = mf.solve(b_v)
+        ctx.n_sparse_solves += 1
+    b_red = b_s - p.a_sv @ y
+    with ctx.timer.phase("dense_solve"):
+        x_s = container.solve(b_red)
+    with ctx.timer.phase("sparse_solve_rhs"):
+        x_v = mf.solve(b_v - p.a_sv.T @ x_s)
+        ctx.n_sparse_solves += 1
+    return x_v, x_s
+
+
+def reduce_rhs_and_solve(ctx: RunContext, mf, container):
+    """RHS reduction, Schur solve, back-substitution and (optional)
+    iterative refinement.
+
+    ``mf`` is a multifrontal factorization of (at least) the interior
+    block ``A_vv``; ``container`` holds the factored Schur complement.
+    When ``config.refinement_steps > 0``, the compressed (or otherwise
+    inexact) factorizations are used as a preconditioner for iterative
+    refinement against the *exact* operator — the residual is evaluated
+    with the original sparse blocks and the lazy kernel, never the
+    compressed ``S`` — recovering accuracy well below the compression
+    tolerance at the cost of a couple of extra solves (the standard
+    production companion of low-rank direct solvers).
+
+    Returns ``(x_v, x_s)``.
+    """
+    p = ctx.problem
+    x_v, x_s = _coupled_solve(ctx, mf, container, p.b_v, p.b_s)
+    for _ in range(ctx.config.refinement_steps):
+        with ctx.timer.phase("iterative_refinement"):
+            r_v = p.b_v - (p.a_vv @ x_v + p.a_sv.T @ x_s)
+            r_s = p.b_s - (p.a_sv @ x_v + p.a_ss_op.matvec(x_s))
+        d_v, d_s = _coupled_solve(ctx, mf, container, r_v, r_s)
+        x_v = x_v + d_v
+        x_s = x_s + d_s
+    return x_v, x_s

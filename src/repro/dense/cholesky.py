@@ -1,0 +1,82 @@
+"""Blocked Cholesky factorization for SPD / HPD matrices.
+
+Right-looking variant: LAPACK ``potrf`` on each diagonal panel, a blocked
+triangular solve for the panel below it, and one symmetric rank-``nb``
+update of the trailing matrix per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cholesky as _lapack_cholesky
+from scipy.linalg import solve_triangular
+
+from repro.utils.errors import SingularMatrixError
+from repro.utils.validation import check_square
+
+DEFAULT_BLOCK = 128
+
+
+def blocked_cholesky(a: np.ndarray, block_size: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Factor SPD (real) / HPD (complex) ``a = L Lᴴ``; returns lower ``L``.
+
+    Only the lower triangle of ``a`` is referenced.
+
+    Raises
+    ------
+    SingularMatrixError
+        When a diagonal panel is not positive definite.
+    """
+    a = np.asarray(a)
+    check_square(a, "a")
+    n = a.shape[0]
+    dtype = a.dtype if np.issubdtype(a.dtype, np.inexact) else np.float64
+    l = np.tril(np.array(a, dtype=dtype, copy=True))
+
+    for k in range(0, n, block_size):
+        kb = min(block_size, n - k)
+        try:
+            lk = _lapack_cholesky(
+                l[k : k + kb, k : k + kb], lower=True, check_finite=False
+            )
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"Cholesky panel at row {k} not positive definite: {exc}"
+            )
+        l[k : k + kb, k : k + kb] = lk
+        if k + kb < n:
+            # L21 = A21 L11^{-H}
+            a21 = l[k + kb :, k : k + kb]
+            x = solve_triangular(
+                lk, a21.conj().T, lower=True, check_finite=False
+            ).conj().T
+            l[k + kb :, k : k + kb] = x
+            l[k + kb :, k + kb :] -= np.tril(x @ x.conj().T)
+    return l
+
+
+def cholesky_solve(l: np.ndarray, b: np.ndarray,
+                   block_size: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Solve ``L Lᴴ x = b`` from :func:`blocked_cholesky` output."""
+    from repro.dense.triangular import (
+        solve_lower_triangular,
+    )
+
+    was_1d = np.asarray(b).ndim == 1
+    x = np.array(b, dtype=np.result_type(l.dtype, np.asarray(b).dtype), copy=True)
+    if x.ndim == 1:
+        x = x[:, None]
+    x = solve_lower_triangular(l, x, block_size)
+    # Lᴴ x = y, blocked backward sweep
+    n = l.shape[0]
+    lh = l.conj().T
+    starts = list(range(0, n, block_size))
+    for start in reversed(starts):
+        stop = min(n, start + block_size)
+        x[start:stop] = solve_triangular(
+            lh[start:stop, start:stop], x[start:stop],
+            lower=False, check_finite=False,
+        )
+        if start > 0:
+            x[:start] -= lh[:start, start:stop] @ x[start:stop]
+    return x[:, 0] if was_1d else x

@@ -1,0 +1,119 @@
+"""Blocked LDLᵀ factorization for symmetric matrices (no pivoting).
+
+The paper factors symmetric blocks (real pipe case: LDLᵀ; complex symmetric
+case: LDLᵀ with the *transpose*, not the conjugate transpose).  We
+implement the unpivoted blocked right-looking variant: an unblocked LDLᵀ
+kernel on each diagonal panel, a triangular solve for the panel below, and
+one symmetric rank-``nb`` GEMM update of the trailing matrix.
+
+No pivoting means the input must have nonsingular leading principal
+minors — true for the well-conditioned Schur complements and surface
+operators this package produces (and for the paper's), and checked at
+runtime via a pivot-magnitude guard.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.utils.errors import SingularMatrixError
+from repro.utils.validation import check_square
+
+DEFAULT_BLOCK = 128
+
+
+def _ldlt_kernel(a: np.ndarray, tiny: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Unblocked in-place LDLᵀ of a small symmetric block.
+
+    Returns ``(L_unit_lower, d)``; uses plain transpose (complex symmetric
+    safe).
+    """
+    n = a.shape[0]
+    l = np.array(a, copy=True)
+    d = np.empty(n, dtype=l.dtype)
+    for j in range(n):
+        if j > 0:
+            # l[j:, j] -= L[j:, :j] @ (d[:j] * L[j, :j])
+            l[j:, j] -= l[j:, :j] @ (d[:j] * l[j, :j])
+        dj = l[j, j]
+        if abs(dj) <= tiny:
+            raise SingularMatrixError(
+                f"LDL^T pivot {j} is numerically zero (|{dj}| <= {tiny})"
+            )
+        d[j] = dj
+        l[j, j] = 1.0
+        if j + 1 < n:
+            l[j + 1 :, j] /= dj
+    return np.tril(l), d
+
+
+def blocked_ldlt(
+    a: np.ndarray, block_size: int = DEFAULT_BLOCK
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor symmetric ``a = L D Lᵀ`` (unit lower ``L``, diagonal ``d``).
+
+    Works for real symmetric and complex *symmetric* (not Hermitian)
+    matrices; only the lower triangle of ``a`` is referenced.
+
+    Returns
+    -------
+    (l, d):
+        ``l`` is unit lower triangular (full storage, upper part zero),
+        ``d`` the diagonal vector.
+    """
+    a = np.asarray(a)
+    check_square(a, "a")
+    n = a.shape[0]
+    dtype = a.dtype if np.issubdtype(a.dtype, np.inexact) else np.float64
+    l = np.tril(np.array(a, dtype=dtype, copy=True))
+    d = np.empty(n, dtype=dtype)
+    tiny = float(np.finfo(np.dtype(dtype).char.lower() if np.issubdtype(dtype, np.complexfloating) else dtype).tiny) ** 0.5
+
+    for k in range(0, n, block_size):
+        kb = min(block_size, n - k)
+        lk, dk = _ldlt_kernel(l[k : k + kb, k : k + kb], tiny)
+        l[k : k + kb, k : k + kb] = lk
+        d[k : k + kb] = dk
+        if k + kb < n:
+            # L21 = A21 L11^{-T} D11^{-1}
+            a21 = l[k + kb :, k : k + kb]
+            # solve X L11ᵀ = A21  →  L11 Xᵀ = A21ᵀ
+            x = solve_triangular(
+                lk, a21.T, lower=True, unit_diagonal=True, check_finite=False
+            ).T
+            x /= dk[None, :]
+            l[k + kb :, k : k + kb] = x
+            # trailing symmetric update: A22 -= L21 D11 L21ᵀ
+            w = x * dk[None, :]
+            l[k + kb :, k + kb :] -= np.tril(w @ x.T)
+            # (only the lower triangle is stored/updated)
+    return l, d
+
+
+def ldlt_solve(l: np.ndarray, d: np.ndarray, b: np.ndarray,
+               block_size: int = DEFAULT_BLOCK) -> np.ndarray:
+    """Solve ``L D Lᵀ x = b`` from :func:`blocked_ldlt` output."""
+    from repro.dense.triangular import solve_unit_lower_triangular
+
+    was_1d = np.asarray(b).ndim == 1
+    x = np.array(b, dtype=np.result_type(l.dtype, np.asarray(b).dtype), copy=True)
+    if x.ndim == 1:
+        x = x[:, None]
+    x = solve_unit_lower_triangular(l, x, block_size)
+    x /= d[:, None]
+    # Lᵀ x = y, blocked backward sweep on the (unit upper) transpose
+    n = l.shape[0]
+    lt = l.T
+    starts = list(range(0, n, block_size))
+    for start in reversed(starts):
+        stop = min(n, start + block_size)
+        x[start:stop] = solve_triangular(
+            lt[start:stop, start:stop], x[start:stop],
+            lower=False, unit_diagonal=True, check_finite=False,
+        )
+        if start > 0:
+            x[:start] -= lt[:start, start:stop] @ x[start:stop]
+    return x[:, 0] if was_1d else x

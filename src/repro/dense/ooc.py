@@ -1,0 +1,205 @@
+"""Out-of-core dense storage and factorization (paper §VII future work).
+
+"We plan to extend this work to the out-of-core ... cases."  This module
+implements that direction for the uncompressed dense Schur complement:
+the matrix lives on disk in a Fortran-ordered memory map and is processed
+by *column panels*, so the resident working set is two panels
+(``2·n·panel_width`` entries) instead of the full ``n²`` buffer — the
+disk traffic replaces RAM exactly as the paper's OOC plans would.
+
+The factorization is a left-looking, panel-blocked, **unpivoted** LU
+(LDLᵀ-grade stability assumptions: the Schur complements this package
+produces are strongly diagonally weighted; a vanishing pivot raises
+:class:`SingularMatrixError`).  Pivoting across panels would force
+read-modify-write sweeps over the already-factored panels on every swap —
+the classic OOC trade the paper's future-work discussion is about.
+
+RAM accounting is *logical* (resident panels are charged to the memory
+tracker; the memory map itself is charged to the separate ``disk`` tally),
+consistent with the rest of :mod:`repro.memory`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.memory.tracker import MemoryTracker
+from repro.utils.errors import ConfigurationError, SingularMatrixError
+
+
+class OutOfCoreDense:
+    """A square dense matrix stored on disk, accessed by column panels."""
+
+    def __init__(
+        self,
+        n: int,
+        dtype,
+        panel_width: int = 256,
+        tracker: Optional[MemoryTracker] = None,
+        directory: Optional[str] = None,
+    ):
+        if n < 1:
+            raise ConfigurationError("n must be >= 1")
+        if panel_width < 1:
+            raise ConfigurationError("panel_width must be >= 1")
+        self.n = n
+        self.dtype = np.dtype(dtype)
+        self.panel_width = min(panel_width, n)
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        self._dir = directory or tempfile.mkdtemp(prefix="repro-ooc-")
+        self._own_dir = directory is None
+        self.path = os.path.join(self._dir, f"schur-{id(self)}.bin")
+        # Fortran order: column panels are contiguous on disk
+        self._map = np.memmap(self.path, dtype=self.dtype, mode="w+",
+                              shape=(n, n), order="F")
+        self.disk_bytes = n * n * self.dtype.itemsize
+        self._factored = False
+        self._closed = False
+
+    # -- panel access -----------------------------------------------------------
+    def panel_bounds(self):
+        """Iterate ``(lo, hi)`` column bounds of each panel."""
+        for lo in range(0, self.n, self.panel_width):
+            yield lo, min(self.n, lo + self.panel_width)
+
+    def read_panel(self, lo: int, hi: int) -> np.ndarray:
+        """Load columns ``[lo, hi)`` into a resident array (caller frees)."""
+        return np.array(self._map[:, lo:hi])
+
+    def write_panel(self, lo: int, hi: int, data: np.ndarray) -> None:
+        self._map[:, lo:hi] = data
+
+    def add_to_columns(self, lo: int, hi: int, delta: np.ndarray) -> None:
+        """``A[:, lo:hi] += delta`` with one resident panel."""
+        with self.tracker.borrow(
+            self.n * (hi - lo) * self.dtype.itemsize,
+            category="ooc_panel", label="OOC update panel",
+        ):
+            panel = self.read_panel(lo, hi)
+            panel += delta
+            self.write_panel(lo, hi, panel)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise fully (tests only)."""
+        return np.array(self._map)
+
+    # -- factorization ------------------------------------------------------------
+    def factorize_lu_inplace(self) -> None:
+        """Left-looking panel LU (unpivoted), factors overwrite the map.
+
+        After the call the map holds ``L`` (unit lower, implicit diagonal)
+        below and ``U`` on/above the diagonal.  Resident set: two panels.
+        """
+        if self._factored:
+            raise ConfigurationError("matrix is already factored")
+        n, w = self.n, self.panel_width
+        itemsize = self.dtype.itemsize
+        tiny = float(np.finfo(
+            self.dtype if not np.issubdtype(self.dtype, np.complexfloating)
+            else np.zeros(0, self.dtype).real.dtype
+        ).tiny) ** 0.5
+        for lo, hi in self.panel_bounds():
+            with self.tracker.borrow(
+                n * (hi - lo) * itemsize, category="ooc_panel",
+                label="OOC target panel",
+            ):
+                panel = self.read_panel(lo, hi)
+                # apply updates from every factored panel to the left
+                for jlo, jhi in self.panel_bounds():
+                    if jlo >= lo:
+                        break
+                    with self.tracker.borrow(
+                        n * (jhi - jlo) * itemsize, category="ooc_panel",
+                        label="OOC factored panel",
+                    ):
+                        fpanel = self.read_panel(jlo, jhi)
+                        l_diag = fpanel[jlo:jhi]
+                        panel[jlo:jhi] = solve_triangular(
+                            l_diag, panel[jlo:jhi], lower=True,
+                            unit_diagonal=True, check_finite=False,
+                        )
+                        panel[jhi:] -= fpanel[jhi:] @ panel[jlo:jhi]
+                # factor the diagonal block of this panel, unpivoted
+                for j in range(lo, hi):
+                    c = j - lo
+                    pivot = panel[j, c]
+                    if abs(pivot) <= tiny:
+                        raise SingularMatrixError(
+                            f"OOC LU: pivot {j} is numerically zero "
+                            f"(|{pivot}| <= {tiny}); the out-of-core path "
+                            "is unpivoted by design"
+                        )
+                    panel[j + 1 :, c] /= pivot
+                    if c + 1 < hi - lo:
+                        panel[j + 1 :, c + 1 :] -= np.outer(
+                            panel[j + 1 :, c], panel[j, c + 1 :]
+                        )
+                self.write_panel(lo, hi, panel)
+        self._factored = True
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` streaming the factored panels from disk."""
+        if not self._factored:
+            raise ConfigurationError("factorize_lu_inplace() first")
+        b = np.asarray(b)
+        was_1d = b.ndim == 1
+        x = np.array(b[:, None] if was_1d else b,
+                     dtype=np.result_type(self.dtype, b.dtype), copy=True)
+        if x.shape[0] != self.n:
+            raise ConfigurationError(
+                f"rhs has {x.shape[0]} rows, expected {self.n}"
+            )
+        itemsize = self.dtype.itemsize
+        # forward: L y = b, panels left to right
+        for lo, hi in self.panel_bounds():
+            with self.tracker.borrow(
+                self.n * (hi - lo) * itemsize, category="ooc_panel",
+                label="OOC solve panel",
+            ):
+                panel = self.read_panel(lo, hi)
+                x[lo:hi] = solve_triangular(
+                    panel[lo:hi], x[lo:hi], lower=True, unit_diagonal=True,
+                    check_finite=False,
+                )
+                if hi < self.n:
+                    x[hi:] -= panel[hi:] @ x[lo:hi]
+        # backward: U x = y, panels right to left
+        for lo, hi in reversed(list(self.panel_bounds())):
+            with self.tracker.borrow(
+                self.n * (hi - lo) * itemsize, category="ooc_panel",
+                label="OOC solve panel",
+            ):
+                panel = self.read_panel(lo, hi)
+                x[lo:hi] = solve_triangular(
+                    panel[:hi][lo:], x[lo:hi], lower=False,
+                    check_finite=False,
+                )
+                if lo > 0:
+                    x[:lo] -= panel[:lo] @ x[lo:hi]
+        return x[:, 0] if was_1d else x
+
+    # -- lifecycle -----------------------------------------------------------------
+    def close(self) -> None:
+        """Release the disk file."""
+        if self._closed:
+            return
+        self._closed = True
+        self._map._mmap.close()
+        self._map = None
+        try:
+            os.unlink(self.path)
+            if self._own_dir:
+                os.rmdir(self._dir)
+        except OSError:
+            pass
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,78 @@
+"""Blocked triangular solves.
+
+Forward/backward substitution with the triangle split into ``block_size``
+panels so that the off-diagonal updates are matrix-matrix products
+(BLAS-3), as a tiled dense solver performs them.  The diagonal-block solves
+delegate to ``scipy.linalg.solve_triangular``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+from repro.utils.validation import as_2d_array, check_square
+
+DEFAULT_BLOCK = 128
+
+
+def _validated(a, b, name):
+    a = np.asarray(a)
+    check_square(a, name)
+    b2 = as_2d_array(b, name="rhs")
+    if b2.shape[0] != a.shape[0]:
+        raise ValueError(
+            f"rhs has {b2.shape[0]} rows, expected {a.shape[0]}"
+        )
+    x = np.array(b2, dtype=np.result_type(a.dtype, b2.dtype), copy=True)
+    return a, x, np.asarray(b).ndim == 1
+
+
+def solve_lower_triangular(
+    l: np.ndarray, b: np.ndarray, block_size: int = DEFAULT_BLOCK
+) -> np.ndarray:
+    """Solve ``L x = b`` with ``L`` lower triangular (diagonal used)."""
+    l, x, was_1d = _validated(l, b, "L")
+    n = l.shape[0]
+    for start in range(0, n, block_size):
+        stop = min(n, start + block_size)
+        x[start:stop] = solve_triangular(
+            l[start:stop, start:stop], x[start:stop], lower=True
+        )
+        if stop < n:
+            x[stop:] -= l[stop:, start:stop] @ x[start:stop]
+    return x[:, 0] if was_1d else x
+
+
+def solve_unit_lower_triangular(
+    l: np.ndarray, b: np.ndarray, block_size: int = DEFAULT_BLOCK
+) -> np.ndarray:
+    """Solve ``L x = b`` with implicit unit diagonal (strict lower used)."""
+    l, x, was_1d = _validated(l, b, "L")
+    n = l.shape[0]
+    for start in range(0, n, block_size):
+        stop = min(n, start + block_size)
+        x[start:stop] = solve_triangular(
+            l[start:stop, start:stop], x[start:stop], lower=True,
+            unit_diagonal=True,
+        )
+        if stop < n:
+            x[stop:] -= l[stop:, start:stop] @ x[start:stop]
+    return x[:, 0] if was_1d else x
+
+
+def solve_upper_triangular(
+    u: np.ndarray, b: np.ndarray, block_size: int = DEFAULT_BLOCK
+) -> np.ndarray:
+    """Solve ``U x = b`` with ``U`` upper triangular."""
+    u, x, was_1d = _validated(u, b, "U")
+    n = u.shape[0]
+    starts = list(range(0, n, block_size))
+    for start in reversed(starts):
+        stop = min(n, start + block_size)
+        x[start:stop] = solve_triangular(
+            u[start:stop, start:stop], x[start:stop], lower=False
+        )
+        if start > 0:
+            x[:start] -= u[:start, start:stop] @ x[start:stop]
+    return x[:, 0] if was_1d else x

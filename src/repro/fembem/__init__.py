@@ -1,0 +1,38 @@
+"""Coupled FEM/BEM test-problem generators.
+
+This subpackage replaces the paper's workload sources:
+
+* the ``test_fembem`` **short pipe** test case (real symmetric matrices,
+  known exact solution) used in the paper's §V evaluation, and
+* the Airbus **industrial aircraft** case (complex non-symmetric,
+  higher surface/volume unknown ratio) of §VI,
+
+with synthetic generators built on a structured volume grid (sparse
+Helmholtz-like FEM block :math:`A_{vv}`), an asymptotically-smooth boundary
+kernel (dense BEM block :math:`A_{ss}`, compressible by ACA), and a thin
+geometric interpolation coupling (:math:`A_{sv}`).  Both cases manufacture
+an exact solution so that the relative error of every algorithm can be
+measured as in the paper's Figure 11.
+"""
+
+from repro.fembem.mesh import StructuredGrid, box_surface_points
+from repro.fembem.fem import assemble_fem_matrix
+from repro.fembem.bem import KernelMatrix, laplace_kernel, helmholtz_kernel
+from repro.fembem.coupling import assemble_coupling_matrix
+from repro.fembem.cases import CoupledProblem
+from repro.fembem.pipe import generate_pipe_case, pipe_grid_dims
+from repro.fembem.aircraft import generate_aircraft_case
+
+__all__ = [
+    "StructuredGrid",
+    "box_surface_points",
+    "assemble_fem_matrix",
+    "KernelMatrix",
+    "laplace_kernel",
+    "helmholtz_kernel",
+    "assemble_coupling_matrix",
+    "CoupledProblem",
+    "generate_pipe_case",
+    "pipe_grid_dims",
+    "generate_aircraft_case",
+]

@@ -1,0 +1,194 @@
+"""Structured volume grids and boundary point clouds.
+
+The paper's pipe test case is a cylindrical jet-flow volume wrapped by its
+outer surface.  For the linear-algebraic structure all that matters is
+
+* a 3-D volume grid carrying a sparse second-order stencil (the FEM block),
+* a 2-D boundary point cloud lying on the volume's outer surface (the BEM
+  collocation points), and
+* geometric proximity between the two (the sparse coupling).
+
+We therefore model the pipe as an elongated box grid; the generators below
+are deterministic given their parameters and a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StructuredGrid:
+    """A structured ``nx × ny × nz`` grid of points with uniform spacing.
+
+    Point ``(i, j, k)`` has linear index ``i·ny·nz + j·nz + k`` and
+    coordinates ``origin + spacing · (i, j, k)``.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    spacing: float = 1.0
+    origin: tuple = (0.0, 0.0, 0.0)
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ConfigurationError("grid dimensions must be >= 1")
+        if self.spacing <= 0:
+            raise ConfigurationError("spacing must be positive")
+
+    @property
+    def shape(self) -> tuple:
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def n_points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def linear_index(self, i, j, k):
+        """Linear index of grid coordinates (vectorised)."""
+        return (np.asarray(i) * self.ny + np.asarray(j)) * self.nz + np.asarray(k)
+
+    def points(self) -> np.ndarray:
+        """All grid point coordinates, ``(n_points, 3)`` float64."""
+        ii, jj, kk = np.meshgrid(
+            np.arange(self.nx), np.arange(self.ny), np.arange(self.nz),
+            indexing="ij",
+        )
+        pts = np.stack([ii, jj, kk], axis=-1).reshape(-1, 3).astype(np.float64)
+        pts *= self.spacing
+        pts += np.asarray(self.origin, dtype=np.float64)
+        return pts
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask of points on the outer shell of the grid."""
+        ii, jj, kk = np.meshgrid(
+            np.arange(self.nx), np.arange(self.ny), np.arange(self.nz),
+            indexing="ij",
+        )
+        mask = (
+            (ii == 0) | (ii == self.nx - 1)
+            | (jj == 0) | (jj == self.ny - 1)
+            | (kk == 0) | (kk == self.nz - 1)
+        )
+        return mask.reshape(-1)
+
+    def extent(self) -> np.ndarray:
+        """Physical extents ``(Lx, Ly, Lz)`` of the grid."""
+        return self.spacing * (np.array(self.shape, dtype=np.float64) - 1.0)
+
+
+def _face_grid(n_u: int, n_v: int, rng: np.random.Generator) -> np.ndarray:
+    """Quasi-uniform jittered unit-square samples, ``(n_u·n_v, 2)``."""
+    u = (np.arange(n_u) + 0.5) / n_u
+    v = (np.arange(n_v) + 0.5) / n_v
+    uu, vv = np.meshgrid(u, v, indexing="ij")
+    pts = np.stack([uu, vv], axis=-1).reshape(-1, 2)
+    jitter = rng.uniform(-0.25, 0.25, size=pts.shape)
+    pts += jitter * np.array([1.0 / n_u, 1.0 / n_v])
+    return np.clip(pts, 0.0, 1.0)
+
+
+def box_surface_points(
+    extent,
+    n_points: int,
+    offset: float = 0.0,
+    seed: int = 0,
+    origin=(0.0, 0.0, 0.0),
+) -> np.ndarray:
+    """Sample exactly ``n_points`` quasi-uniform points on a box surface.
+
+    Points are distributed over the six faces proportionally to face area,
+    laid out on per-face jittered grids, and the count is adjusted exactly
+    by uniform random fill-in.  ``offset`` pushes points outward along the
+    face normal (BEM collocation points sit slightly off the volume mesh).
+
+    Parameters
+    ----------
+    extent:
+        Box extents ``(Lx, Ly, Lz)``.
+    n_points:
+        Exact number of surface points to return.
+    offset:
+        Outward normal offset.
+    seed:
+        RNG seed — generation is deterministic given ``(extent, n_points,
+        offset, seed)``.
+    """
+    if n_points < 6:
+        raise ConfigurationError("need at least 6 surface points (one per face)")
+    ext = np.asarray(extent, dtype=np.float64)
+    if np.any(ext <= 0):
+        raise ConfigurationError("box extents must be positive")
+    rng = np.random.default_rng(seed)
+
+    lx, ly, lz = ext
+    # (axis held fixed, value of that axis, in-plane axes, in-plane extents)
+    faces = [
+        (0, -offset, (1, 2), (ly, lz)),
+        (0, lx + offset, (1, 2), (ly, lz)),
+        (1, -offset, (0, 2), (lx, lz)),
+        (1, ly + offset, (0, 2), (lx, lz)),
+        (2, -offset, (0, 1), (lx, ly)),
+        (2, lz + offset, (0, 1), (lx, ly)),
+    ]
+    areas = np.array([eu * ev for _, _, _, (eu, ev) in faces])
+    share = areas / areas.sum()
+    counts = np.maximum(1, np.floor(share * n_points).astype(int))
+
+    chunks = []
+    for (axis, value, (au, av), (eu, ev)), count in zip(faces, counts):
+        aspect = eu / ev
+        n_u = max(1, int(round(np.sqrt(count * aspect))))
+        n_v = max(1, int(np.ceil(count / n_u)))
+        uv = _face_grid(n_u, n_v, rng)[:count]
+        # top up if the grid rounded below the requested count
+        missing = count - len(uv)
+        if missing > 0:
+            uv = np.vstack([uv, rng.uniform(0.0, 1.0, size=(missing, 2))])
+        pts = np.zeros((count, 3))
+        pts[:, axis] = value
+        pts[:, au] = uv[:, 0] * eu
+        pts[:, av] = uv[:, 1] * ev
+        chunks.append(pts)
+    pts = np.vstack(chunks)
+
+    # exact count adjustment
+    if len(pts) > n_points:
+        keep = rng.choice(len(pts), size=n_points, replace=False)
+        keep.sort()
+        pts = pts[keep]
+    elif len(pts) < n_points:
+        extra = n_points - len(pts)
+        face_ids = rng.choice(len(faces), size=extra, p=share)
+        fill = np.zeros((extra, 3))
+        for row, fid in enumerate(face_ids):
+            axis, value, (au, av), (eu, ev) = faces[fid]
+            fill[row, axis] = value
+            fill[row, au] = rng.uniform(0.0, eu)
+            fill[row, av] = rng.uniform(0.0, ev)
+        pts = np.vstack([pts, fill])
+
+    pts += np.asarray(origin, dtype=np.float64)
+    return pts
+
+
+def nearly_square_box_dims(n_target: int, aspect: float = 4.0) -> tuple:
+    """Grid dims ``(nx, ny, nz)`` with ``nx ≈ aspect·ny``, ``ny = nz`` and
+    ``nx·ny·nz`` as close to ``n_target`` as possible (from below when
+    feasible)."""
+    if n_target < 8:
+        raise ConfigurationError("n_target must be at least 8")
+    m = max(2, int(round((n_target / aspect) ** (1.0 / 3.0))))
+    best = None
+    for ny in range(max(2, m - 2), m + 3):
+        nx = max(2, int(round(n_target / (ny * ny))))
+        n = nx * ny * ny
+        score = abs(n - n_target)
+        if best is None or score < best[0]:
+            best = (score, (nx, ny, ny))
+    return best[1]

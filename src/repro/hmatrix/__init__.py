@@ -1,0 +1,48 @@
+"""Hierarchical low-rank matrix solver (the HMAT substitute).
+
+The paper's compressed couplings store the BEM block :math:`A_{ss}` and the
+Schur complement :math:`S` in the hierarchical ℋ-matrix solver HMAT
+(ACA compression, compressed factorization/solve).  This subpackage
+provides the equivalent stack, built from scratch:
+
+* :mod:`~repro.hmatrix.cluster` — geometric binary cluster trees;
+* :mod:`~repro.hmatrix.rk` — rank-revealing outer-product (Rk) blocks with
+  SVD recompression;
+* :mod:`~repro.hmatrix.aca` — adaptive cross approximation with partial
+  pivoting (lazy kernels) and its dense-input counterpart;
+* :mod:`~repro.hmatrix.hmatrix` — the hierarchical container (HODLR
+  structure: nested diagonal blocks, low-rank off-diagonal blocks) with
+  kernel assembly, matvec, **compressed AXPY** of dense sub-blocks (the
+  operation at the heart of the paper's compressed-Schur variants) and
+  memory accounting;
+* :mod:`~repro.hmatrix.factorization` — hierarchical LU factorization and
+  solves.
+
+DESIGN.md documents the HODLR-for-general-ℋ substitution.
+"""
+
+from repro.hmatrix.cluster import ClusterNode, ClusterTree, build_cluster_tree
+from repro.hmatrix.rk import RkMatrix, svd_truncate
+from repro.hmatrix.aca import aca, aca_dense
+from repro.hmatrix.hmatrix import HMatrix, build_hodlr, hodlr_from_dense
+from repro.hmatrix.factorization import HLUFactorization
+from repro.hmatrix.ldlt_factorization import HLDLTFactorization
+from repro.hmatrix.strong import StrongHMatrix, build_strong_hmatrix, is_admissible
+
+__all__ = [
+    "ClusterNode",
+    "ClusterTree",
+    "build_cluster_tree",
+    "RkMatrix",
+    "svd_truncate",
+    "aca",
+    "aca_dense",
+    "HMatrix",
+    "build_hodlr",
+    "hodlr_from_dense",
+    "HLUFactorization",
+    "HLDLTFactorization",
+    "StrongHMatrix",
+    "build_strong_hmatrix",
+    "is_admissible",
+]

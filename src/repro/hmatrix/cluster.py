@@ -1,0 +1,169 @@
+"""Geometric cluster trees for hierarchical matrices.
+
+A cluster tree recursively bisects a point cloud along the longest axis of
+its bounding box (median split), producing the nested index sets that
+define the hierarchical block structure.  Points are re-ordered so that
+every tree node owns a *contiguous* index range in the permuted ordering —
+the invariant all block operations rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+DEFAULT_LEAF_SIZE = 64
+
+
+class ClusterNode:
+    """A node of the cluster tree owning permuted indices ``[start, stop)``."""
+
+    __slots__ = ("start", "stop", "level", "children", "bbox_min", "bbox_max")
+
+    def __init__(self, start: int, stop: int, level: int,
+                 bbox_min: np.ndarray, bbox_max: np.ndarray):
+        self.start = start
+        self.stop = stop
+        self.level = level
+        self.children: List["ClusterNode"] = []
+        self.bbox_min = bbox_min
+        self.bbox_max = bbox_max
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Permuted index range as an array."""
+        return np.arange(self.start, self.stop)
+
+    def diameter(self) -> float:
+        """Euclidean diameter of the bounding box."""
+        return float(np.linalg.norm(self.bbox_max - self.bbox_min))
+
+    def distance_to(self, other: "ClusterNode") -> float:
+        """Euclidean distance between the two bounding boxes."""
+        gap = np.maximum(
+            0.0,
+            np.maximum(
+                self.bbox_min - other.bbox_max, other.bbox_min - self.bbox_max
+            ),
+        )
+        return float(np.linalg.norm(gap))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else "node"
+        return f"ClusterNode({kind}, [{self.start}, {self.stop}), level={self.level})"
+
+
+class ClusterTree:
+    """A binary geometric cluster tree over a 3-D point cloud.
+
+    Attributes
+    ----------
+    perm:
+        ``perm[k]`` is the original index of the point in permuted slot
+        ``k`` (``points_permuted = points[perm]``).
+    inv_perm:
+        Inverse permutation: ``inv_perm[orig] = slot``.
+    root:
+        Root :class:`ClusterNode` covering ``[0, n)``.
+    """
+
+    def __init__(self, points: np.ndarray, perm: np.ndarray, root: ClusterNode,
+                 leaf_size: int):
+        self.points = points
+        self.perm = perm
+        self.inv_perm = np.empty_like(perm)
+        self.inv_perm[perm] = np.arange(len(perm))
+        self.root = root
+        self.leaf_size = leaf_size
+
+    @property
+    def n(self) -> int:
+        return len(self.perm)
+
+    def leaves(self) -> Iterator[ClusterNode]:
+        """All leaf nodes, left to right."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(reversed(node.children))
+
+    def depth(self) -> int:
+        """Maximum node level (root = 0)."""
+        best = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.level)
+            stack.extend(node.children)
+        return best
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    def permuted_points(self) -> np.ndarray:
+        return self.points[self.perm]
+
+
+def build_cluster_tree(
+    points: np.ndarray, leaf_size: int = DEFAULT_LEAF_SIZE
+) -> ClusterTree:
+    """Build a cluster tree by recursive longest-axis median bisection.
+
+    Parameters
+    ----------
+    points:
+        Point coordinates, shape ``(n, d)`` with ``d`` in {1, 2, 3}.
+    leaf_size:
+        Maximum number of points per leaf.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ConfigurationError("points must be 2-D (n, d)")
+    if len(points) == 0:
+        raise ConfigurationError("cannot build a cluster tree over 0 points")
+    if leaf_size < 1:
+        raise ConfigurationError("leaf_size must be >= 1")
+
+    n = len(points)
+    perm = np.arange(n, dtype=np.intp)
+
+    def make_node(start: int, stop: int, level: int) -> ClusterNode:
+        idx = perm[start:stop]
+        pts = points[idx]
+        node = ClusterNode(
+            start, stop, level, pts.min(axis=0).copy(), pts.max(axis=0).copy()
+        )
+        if stop - start > leaf_size:
+            extent = node.bbox_max - node.bbox_min
+            axis = int(np.argmax(extent))
+            order = np.argsort(pts[:, axis], kind="stable")
+            perm[start:stop] = idx[order]
+            mid = start + (stop - start) // 2
+            node.children = [
+                make_node(start, mid, level + 1),
+                make_node(mid, stop, level + 1),
+            ]
+        return node
+
+    root = make_node(0, n, 0)
+    return ClusterTree(points, perm, root, leaf_size)

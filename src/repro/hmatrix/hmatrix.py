@@ -1,0 +1,398 @@
+"""Hierarchical low-rank matrix container (HODLR structure).
+
+An :class:`HMatrix` is a square hierarchical matrix over a
+:class:`~repro.hmatrix.cluster.ClusterTree`: diagonal blocks recurse,
+off-diagonal blocks are stored as :class:`~repro.hmatrix.rk.RkMatrix`
+(weak admissibility).  It supports
+
+* assembly from a lazy kernel (:func:`build_hodlr`, ACA on off-diagonal
+  blocks) or from an explicit dense matrix (:func:`hodlr_from_dense`),
+* matvec / matmat,
+* **compressed AXPY** of a dense sub-block into the structure
+  (:meth:`HMatrix.axpy_dense`) — the paper's key primitive for folding the
+  dense Schur blocks returned by the sparse solver into the compressed
+  Schur complement (§IV-A2 / §IV-B2, "Compressed AXPY"), and
+* exact byte-level memory accounting (:meth:`HMatrix.nbytes`).
+
+The public interface speaks *original* point indices; internally
+everything lives in the cluster-permuted ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hmatrix.aca import aca, aca_dense
+from repro.hmatrix.cluster import ClusterNode, ClusterTree
+from repro.hmatrix.rk import RkMatrix
+from repro.utils.errors import ConfigurationError
+
+
+class HNode:
+    """One diagonal block of the HODLR structure (permuted range ``[start, stop)``)."""
+
+    __slots__ = ("start", "stop", "mid", "dense", "h11", "h22", "rk12", "rk21")
+
+    def __init__(self, start: int, stop: int):
+        self.start = start
+        self.stop = stop
+        self.mid: Optional[int] = None
+        self.dense: Optional[np.ndarray] = None
+        self.h11: Optional["HNode"] = None
+        self.h22: Optional["HNode"] = None
+        self.rk12: Optional[RkMatrix] = None
+        self.rk21: Optional[RkMatrix] = None
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.dense is not None
+
+    def nbytes(self) -> int:
+        if self.is_leaf:
+            return self.dense.nbytes
+        return (
+            self.h11.nbytes()
+            + self.h22.nbytes()
+            + self.rk12.nbytes
+            + self.rk21.nbytes
+        )
+
+    def max_rank(self) -> int:
+        if self.is_leaf:
+            return 0
+        return max(
+            self.rk12.rank, self.rk21.rank, self.h11.max_rank(), self.h22.max_rank()
+        )
+
+    def copy(self) -> "HNode":
+        out = HNode(self.start, self.stop)
+        out.mid = self.mid
+        if self.is_leaf:
+            out.dense = self.dense.copy()
+        else:
+            out.h11 = self.h11.copy()
+            out.h22 = self.h22.copy()
+            out.rk12 = RkMatrix(self.rk12.u.copy(), self.rk12.v.copy())
+            out.rk21 = RkMatrix(self.rk21.u.copy(), self.rk21.v.copy())
+        return out
+
+
+def _compress_dense(block: np.ndarray, tol: float, compressor: str) -> RkMatrix:
+    if compressor == "svd":
+        return RkMatrix.from_dense(block, tol)
+    if compressor == "aca":
+        return aca_dense(block, tol)
+    raise ConfigurationError(f"unknown compressor {compressor!r}")
+
+
+class HMatrix:
+    """Square hierarchical low-rank matrix over a cluster tree."""
+
+    def __init__(self, tree: ClusterTree, root: HNode, tol: float, dtype):
+        self.tree = tree
+        self.root = root
+        self.tol = float(tol)
+        self.dtype = np.dtype(dtype)
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return (self.tree.n, self.tree.n)
+
+    def nbytes(self) -> int:
+        """Logical bytes of the compressed representation."""
+        return self.root.nbytes()
+
+    def dense_nbytes(self) -> int:
+        """Bytes the same matrix would occupy uncompressed."""
+        return self.tree.n * self.tree.n * self.dtype.itemsize
+
+    def compression_ratio(self) -> float:
+        """Compressed size as a fraction of the dense size (< 1 is a gain)."""
+        return self.nbytes() / max(1, self.dense_nbytes())
+
+    def max_rank(self) -> int:
+        return self.root.max_rank()
+
+    def copy(self) -> "HMatrix":
+        return HMatrix(self.tree, self.root.copy(), self.tol, self.dtype)
+
+    # -- conversion ---------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array in *original* index order."""
+        n = self.tree.n
+        out = np.zeros((n, n), dtype=self.dtype)
+
+        def fill(node: HNode):
+            if node.is_leaf:
+                out[node.start : node.stop, node.start : node.stop] = node.dense
+                return
+            fill(node.h11)
+            fill(node.h22)
+            out[node.start : node.mid, node.mid : node.stop] = node.rk12.to_dense()
+            out[node.mid : node.stop, node.start : node.mid] = node.rk21.to_dense()
+
+        fill(self.root)
+        perm = self.tree.perm
+        result = np.zeros_like(out)
+        result[np.ix_(perm, perm)] = out
+        return result
+
+    # -- matvec ---------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for a vector or a block of column vectors."""
+        x = np.asarray(x)
+        was_1d = x.ndim == 1
+        xb = x[:, None] if was_1d else x
+        if xb.shape[0] != self.tree.n:
+            raise ConfigurationError(
+                f"dimension mismatch: H-matrix has {self.tree.n} columns, "
+                f"x has {xb.shape[0]} rows"
+            )
+        xp = xb[self.tree.perm]
+        yp = self._matvec_node(self.root, xp)
+        y = np.empty_like(yp)
+        y[self.tree.perm] = yp
+        return y[:, 0] if was_1d else y
+
+    def _matvec_node(self, node: HNode, xp: np.ndarray) -> np.ndarray:
+        if node.is_leaf:
+            return node.dense @ xp
+        cut = node.mid - node.start
+        x1, x2 = xp[:cut], xp[cut:]
+        y1 = self._matvec_node(node.h11, x1) + node.rk12.matvec(x2)
+        y2 = node.rk21.matvec(x1) + self._matvec_node(node.h22, x2)
+        return np.concatenate([y1, y2], axis=0)
+
+    # -- compressed AXPY ----------------------------------------------------------
+    def axpy_dense(
+        self,
+        alpha,
+        block: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        compressor: str = "svd",
+    ) -> None:
+        """``self[rows, cols] += alpha * block`` with on-the-fly compression.
+
+        ``rows`` / ``cols`` are *original* indices (arbitrary subsets —
+        e.g. a contiguous block of original Schur columns, which scatter
+        across the cluster ordering).  The parts of the update falling on
+        low-rank blocks are compressed and folded in with recompression at
+        tolerance ``self.tol``; parts on dense leaves are added exactly.
+
+        This is the paper's "Compressed AXPY": ``A_ss_i − Z_i`` in
+        compressed multi-solve and ``A_ss_ij + X_ij`` in compressed
+        multi-factorization.
+        """
+        block = np.asarray(block)
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        if block.shape != (len(rows), len(cols)):
+            raise ConfigurationError(
+                f"block shape {block.shape} does not match index sets "
+                f"({len(rows)}, {len(cols)})"
+            )
+        rp = self.tree.inv_perm[rows]
+        cp = self.tree.inv_perm[cols]
+        ro = np.argsort(rp, kind="stable")
+        co = np.argsort(cp, kind="stable")
+        sub = alpha * block[np.ix_(ro, co)]
+        self._axpy_node(self.root, rp[ro], cp[co], sub, compressor)
+
+    def _axpy_node(
+        self,
+        node: HNode,
+        rp: np.ndarray,
+        cp: np.ndarray,
+        block: np.ndarray,
+        compressor: str,
+    ) -> None:
+        if len(rp) == 0 or len(cp) == 0:
+            return
+        if node.is_leaf:
+            node.dense[np.ix_(rp - node.start, cp - node.start)] += block.astype(
+                node.dense.dtype, copy=False
+            )
+            return
+        rcut = int(np.searchsorted(rp, node.mid))
+        ccut = int(np.searchsorted(cp, node.mid))
+        # diagonal quadrants recurse
+        self._axpy_node(node.h11, rp[:rcut], cp[:ccut], block[:rcut, :ccut], compressor)
+        self._axpy_node(node.h22, rp[rcut:], cp[ccut:], block[rcut:, ccut:], compressor)
+        # off-diagonal quadrants: compress and fold into the Rk blocks
+        if rcut > 0 and ccut < len(cp):
+            node.rk12 = self._fold_offdiag(
+                node.rk12,
+                block[:rcut, ccut:],
+                rp[:rcut] - node.start,
+                cp[ccut:] - node.mid,
+                compressor,
+            )
+        if rcut < len(rp) and ccut > 0:
+            node.rk21 = self._fold_offdiag(
+                node.rk21,
+                block[rcut:, :ccut],
+                rp[rcut:] - node.mid,
+                cp[:ccut] - node.start,
+                compressor,
+            )
+
+    def _fold_offdiag(
+        self,
+        rk: RkMatrix,
+        update: np.ndarray,
+        local_rows: np.ndarray,
+        local_cols: np.ndarray,
+        compressor: str,
+    ) -> RkMatrix:
+        m, n = rk.shape
+        small = _compress_dense(update, self.tol, compressor)
+        if small.rank == 0:
+            return rk
+        u = np.zeros((m, small.rank), dtype=small.u.dtype)
+        v = np.zeros((n, small.rank), dtype=small.v.dtype)
+        u[local_rows] = small.u
+        v[local_cols] = small.v
+        return rk.add(RkMatrix(u, v), self.tol)
+
+    # -- low-rank AXPY (used by the hierarchical factorization) -----------------------
+    def add_rk(self, rk: RkMatrix) -> None:
+        """``self += rk`` where ``rk`` spans the whole (permuted) matrix."""
+        _node_add_rk(self.root, rk, self.tol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HMatrix(n={self.tree.n}, dtype={self.dtype.name}, "
+            f"tol={self.tol}, ratio={self.compression_ratio():.3f})"
+        )
+
+
+def _node_add_rk(node: HNode, rk: RkMatrix, tol: float) -> None:
+    """Add a node-spanning low-rank update into the HODLR structure."""
+    if rk.rank == 0:
+        return
+    if node.is_leaf:
+        node.dense += rk.to_dense().astype(node.dense.dtype, copy=False)
+        return
+    cut = node.mid - node.start
+    u1, u2 = rk.u[:cut], rk.u[cut:]
+    v1, v2 = rk.v[:cut], rk.v[cut:]
+    _node_add_rk(node.h11, RkMatrix(u1, v1), tol)
+    _node_add_rk(node.h22, RkMatrix(u2, v2), tol)
+    node.rk12 = node.rk12.add(RkMatrix(u1, v2).truncate(tol), tol)
+    node.rk21 = node.rk21.add(RkMatrix(u2, v1).truncate(tol), tol)
+
+
+def build_hodlr(
+    op,
+    tree: ClusterTree,
+    tol: float = 1e-3,
+    max_rank: Optional[int] = None,
+) -> HMatrix:
+    """Assemble an :class:`HMatrix` from a lazy kernel operator.
+
+    ``op`` must expose ``shape``, ``dtype`` and ``block(rows, cols)`` in
+    original indices (see :class:`repro.fembem.bem.KernelMatrix`).
+    Off-diagonal blocks are compressed by ACA straight from the kernel —
+    the uncompressed block is never formed.
+    """
+    if op.shape != (tree.n, tree.n):
+        raise ConfigurationError(
+            f"operator shape {op.shape} does not match tree size {tree.n}"
+        )
+    perm = tree.perm
+    dtype = np.dtype(op.dtype)
+
+    def build(cnode: ClusterNode) -> HNode:
+        node = HNode(cnode.start, cnode.stop)
+        if cnode.is_leaf:
+            idx = perm[cnode.start : cnode.stop]
+            node.dense = np.array(op.block(idx, idx), dtype=dtype)
+            return node
+        c1, c2 = cnode.children
+        node.mid = c1.stop
+        node.h11 = build(c1)
+        node.h22 = build(c2)
+        rows1 = perm[c1.start : c1.stop]
+        rows2 = perm[c2.start : c2.stop]
+        node.rk12 = aca(
+            lambda i: op.block(rows1[i : i + 1], rows2)[0],
+            lambda j: op.block(rows1, rows2[j : j + 1])[:, 0],
+            (len(rows1), len(rows2)),
+            tol,
+            max_rank=max_rank,
+            dtype=dtype,
+        )
+        node.rk21 = aca(
+            lambda i: op.block(rows2[i : i + 1], rows1)[0],
+            lambda j: op.block(rows2, rows1[j : j + 1])[:, 0],
+            (len(rows2), len(rows1)),
+            tol,
+            max_rank=max_rank,
+            dtype=dtype,
+        )
+        return node
+
+    return HMatrix(tree, build(tree.root), tol, dtype)
+
+
+def hodlr_from_dense(
+    a: np.ndarray,
+    tree: ClusterTree,
+    tol: float = 1e-3,
+    compressor: str = "svd",
+) -> HMatrix:
+    """Compress an explicit dense matrix (original ordering) into HODLR form."""
+    a = np.asarray(a)
+    if a.shape != (tree.n, tree.n):
+        raise ConfigurationError(
+            f"matrix shape {a.shape} does not match tree size {tree.n}"
+        )
+    perm = tree.perm
+    ap = a[np.ix_(perm, perm)]
+
+    def build(cnode: ClusterNode) -> HNode:
+        node = HNode(cnode.start, cnode.stop)
+        if cnode.is_leaf:
+            node.dense = np.array(ap[cnode.start : cnode.stop,
+                                     cnode.start : cnode.stop])
+            return node
+        c1, c2 = cnode.children
+        node.mid = c1.stop
+        node.h11 = build(c1)
+        node.h22 = build(c2)
+        node.rk12 = _compress_dense(
+            ap[c1.start : c1.stop, c2.start : c2.stop], tol, compressor
+        )
+        node.rk21 = _compress_dense(
+            ap[c2.start : c2.stop, c1.start : c1.stop], tol, compressor
+        )
+        return node
+
+    return HMatrix(tree, build(tree.root), tol, np.dtype(a.dtype))
+
+
+def hodlr_zeros(tree: ClusterTree, tol: float, dtype) -> HMatrix:
+    """An all-zero HODLR matrix with the given structure."""
+
+    def build(cnode: ClusterNode) -> HNode:
+        node = HNode(cnode.start, cnode.stop)
+        if cnode.is_leaf:
+            node.dense = np.zeros((cnode.size, cnode.size), dtype=dtype)
+            return node
+        c1, c2 = cnode.children
+        node.mid = c1.stop
+        node.h11 = build(c1)
+        node.h22 = build(c2)
+        node.rk12 = RkMatrix.zeros(c1.size, c2.size, dtype=dtype)
+        node.rk21 = RkMatrix.zeros(c2.size, c1.size, dtype=dtype)
+        return node
+
+    return HMatrix(tree, build(tree.root), tol, np.dtype(dtype))

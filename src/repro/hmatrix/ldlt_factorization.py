@@ -1,0 +1,174 @@
+"""Hierarchical LDLᵀ factorization for symmetric HODLR matrices.
+
+The paper factors symmetric blocks with LDLᵀ ("For complex (symmetric but
+not positive definite) matrices, we rely on a LDLᵀ factorization", §II-A).
+For a symmetric HODLR matrix
+
+.. math::
+
+    A = \\begin{pmatrix} A_{11} & B^T \\\\ B & A_{22} \\end{pmatrix},
+    \\qquad B = U V^T ,
+
+the recursion is
+
+1. factor ``A_11 = L_1 D_1 L_1ᵀ`` (recursively);
+2. transform the coupling in low-rank form:
+   ``L_21 = B L_1⁻ᵀ D_1⁻¹ = U Ṽᵀ`` with ``Ṽ = D_1⁻¹ (L_1⁻¹ V)``;
+3. symmetric Schur update
+   ``A_22 ← A_22 − L_21 D_1 L_21ᵀ = A_22 − U (Ṽᵀ D_1 Ṽ) Uᵀ``
+   (a symmetric rank-``r`` update folded into the structure);
+4. factor ``A_22`` recursively.
+
+Only *one* transformed coupling factor per level is stored (``U`` is
+shared with the input), roughly halving the factor memory against the
+H-LU of :mod:`repro.hmatrix.factorization` — the same saving the paper's
+symmetric mode provides over unsymmetric factorizations.  Plain
+transposes throughout keep complex *symmetric* inputs exact.
+
+No pivoting (beyond none at all — LDLᵀ leaves run the unpivoted kernel):
+intended for the strongly diagonally-weighted Schur complements this
+package produces, like its dense counterpart :func:`repro.dense.blocked_ldlt`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dense.ldlt import blocked_ldlt
+from repro.hmatrix.hmatrix import HMatrix, HNode, _node_add_rk
+from repro.hmatrix.rk import RkMatrix
+from repro.utils.errors import SingularMatrixError
+from scipy.linalg import solve_triangular
+
+
+class _LNode:
+    """Factored counterpart of a symmetric :class:`HNode`."""
+
+    __slots__ = ("start", "stop", "mid", "l", "f11", "f22", "u21", "v21t")
+
+    def __init__(self, start: int, stop: int):
+        self.start = start
+        self.stop = stop
+        self.mid: Optional[int] = None
+        self.l: Optional[np.ndarray] = None       # leaf unit-lower factor
+        self.f11: Optional["_LNode"] = None
+        self.f22: Optional["_LNode"] = None
+        self.u21: Optional[np.ndarray] = None     # coupling L21 = U21 Ṽᵀ
+        self.v21t: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.l is not None
+
+    def nbytes(self) -> int:
+        if self.is_leaf:
+            # one packed triangle (the dense buffer is square, but a
+            # symmetric factorization stores a triangle + d)
+            p = self.l.shape[0]
+            return (p * (p + 1) // 2) * self.l.itemsize
+        return (
+            self.f11.nbytes() + self.f22.nbytes()
+            + self.u21.nbytes + self.v21t.nbytes
+        )
+
+
+class HLDLTFactorization:
+    """LDLᵀ factorization of a *symmetric* HODLR matrix.
+
+    The input is not modified.  The symmetry of the input is trusted (the
+    upper coupling blocks are never read); feeding an unsymmetric matrix
+    silently factors its lower symmetric part.
+    """
+
+    def __init__(self, hm: HMatrix):
+        self.tree = hm.tree
+        self.tol = hm.tol
+        self.dtype = hm.dtype
+        self.d = np.empty(hm.tree.n, dtype=hm.dtype)
+        self.root = self._factor(hm.root.copy())
+
+    # -- factorization --------------------------------------------------------
+    def _factor(self, node: HNode) -> _LNode:
+        out = _LNode(node.start, node.stop)
+        if node.is_leaf:
+            try:
+                l, dvec = blocked_ldlt(node.dense)
+            except SingularMatrixError as exc:
+                raise SingularMatrixError(
+                    f"H-LDLT leaf [{node.start}, {node.stop}) failed: {exc}"
+                )
+            out.l = l
+            self.d[node.start : node.stop] = dvec
+            return out
+        out.mid = node.mid
+        out.f11 = self._factor(node.h11)
+        u21 = node.rk21.u
+        v21 = node.rk21.v
+        if node.rk21.rank:
+            w = self._forward(out.f11, v21, node.start)
+            v_tilde = w / self.d[node.start : node.mid][:, None]
+            core = (v_tilde.T * self.d[node.start : node.mid][None, :]) @ v_tilde
+            update = RkMatrix(-(u21 @ core), u21.copy())
+            _node_add_rk(node.h22, update.truncate(self.tol), self.tol)
+            out.u21 = u21.copy()
+            out.v21t = v_tilde.T.copy()
+        else:
+            out.u21 = u21.copy()
+            out.v21t = v21.T.copy()
+        out.f22 = self._factor(node.h22)
+        return out
+
+    # -- triangular sweeps -------------------------------------------------------
+    def _forward(self, node: _LNode, b: np.ndarray, offset: int) -> np.ndarray:
+        """Solve ``L z = b`` on the node's range (``offset`` = node.start)."""
+        if node.is_leaf:
+            return solve_triangular(
+                node.l, b, lower=True, unit_diagonal=True, check_finite=False
+            )
+        cut = node.mid - node.start
+        z1 = self._forward(node.f11, b[:cut], offset)
+        rhs2 = b[cut:]
+        if node.u21.shape[1]:
+            rhs2 = rhs2 - node.u21 @ (node.v21t @ z1)
+        z2 = self._forward(node.f22, rhs2, offset + cut)
+        return np.concatenate([z1, z2], axis=0)
+
+    def _backward(self, node: _LNode, z: np.ndarray, offset: int) -> np.ndarray:
+        """Solve ``Lᵀ x = z`` on the node's range."""
+        if node.is_leaf:
+            return solve_triangular(
+                node.l.T, z, lower=False, unit_diagonal=True,
+                check_finite=False,
+            )
+        cut = node.mid - node.start
+        x2 = self._backward(node.f22, z[cut:], offset + cut)
+        rhs1 = z[:cut]
+        if node.u21.shape[1]:
+            rhs1 = rhs1 - node.v21t.T @ (node.u21.T @ x2)
+        x1 = self._backward(node.f11, rhs1, offset)
+        return np.concatenate([x1, x2], axis=0)
+
+    # -- public API -----------------------------------------------------------
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` (vector or columns, original ordering)."""
+        b = np.asarray(b)
+        was_1d = b.ndim == 1
+        bb = b[:, None] if was_1d else b
+        bp = bb[self.tree.perm].astype(
+            np.result_type(self.dtype, bb.dtype), copy=True
+        )
+        z = self._forward(self.root, bp, 0)
+        z /= self.d[:, None]
+        xp = self._backward(self.root, z, 0)
+        x = np.empty_like(xp)
+        x[self.tree.perm] = xp
+        return x[:, 0] if was_1d else x
+
+    def nbytes(self) -> int:
+        """Logical bytes of the stored factors (packed triangles + d)."""
+        return self.root.nbytes() + self.d.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HLDLTFactorization(n={self.tree.n}, tol={self.tol})"

@@ -1,0 +1,180 @@
+"""Rank-k (outer product) matrix blocks with SVD recompression.
+
+An :class:`RkMatrix` stores a block as ``U @ V.T`` (plain transpose, so
+complex *symmetric* data keeps its symmetry, as the paper's complex
+matrices require).  Sums of Rk blocks concatenate the factors and are then
+*recompressed* with the standard QR+SVD rounding — the operation whose cost
+the paper's §IV-A2 dissociated block sizes (``n_c`` vs ``n_S``) trade
+against memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def svd_truncate(
+    a: np.ndarray, tol: float, max_rank: Optional[int] = None,
+    norm_ref: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Best low-rank approximation of a dense block by truncated SVD.
+
+    Singular values below ``tol`` times the reference (the largest singular
+    value, or ``norm_ref`` when provided — used when rounding a *summand*
+    relative to the magnitude of the full accumulated block) are dropped.
+
+    Returns ``(u, v)`` with ``a ≈ u @ v.T``.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ConfigurationError("svd_truncate expects a 2-D block")
+    if min(a.shape) == 0:
+        dt = a.dtype if np.issubdtype(a.dtype, np.inexact) else np.float64
+        return (np.zeros((a.shape[0], 0), dt), np.zeros((a.shape[1], 0), dt))
+    u, s, vh = np.linalg.svd(a, full_matrices=False)
+    ref = float(s[0]) if norm_ref is None else float(norm_ref)
+    if ref == 0.0:
+        rank = 0
+    else:
+        rank = int(np.sum(s > tol * ref))
+    if max_rank is not None:
+        rank = min(rank, max_rank)
+    u = u[:, :rank] * s[:rank]
+    v = vh[:rank].T.copy()
+    return u, v
+
+
+class RkMatrix:
+    """A low-rank block ``U @ V.T`` with ``U (m, r)`` and ``V (n, r)``."""
+
+    __slots__ = ("u", "v")
+
+    def __init__(self, u: np.ndarray, v: np.ndarray):
+        u = np.asarray(u)
+        v = np.asarray(v)
+        if u.ndim != 2 or v.ndim != 2 or u.shape[1] != v.shape[1]:
+            raise ConfigurationError(
+                f"incompatible Rk factors: u {u.shape}, v {v.shape}"
+            )
+        self.u = u
+        self.v = v
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def zeros(cls, m: int, n: int, dtype=np.float64) -> "RkMatrix":
+        return cls(np.zeros((m, 0), dtype=dtype), np.zeros((n, 0), dtype=dtype))
+
+    @classmethod
+    def from_dense(
+        cls, a: np.ndarray, tol: float, max_rank: Optional[int] = None,
+        norm_ref: Optional[float] = None,
+    ) -> "RkMatrix":
+        return cls(*svd_truncate(a, tol, max_rank, norm_ref))
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.u.shape[0], self.v.shape[0])
+
+    @property
+    def rank(self) -> int:
+        return self.u.shape[1]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.result_type(self.u.dtype, self.v.dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return self.u.nbytes + self.v.nbytes
+
+    # -- algebra ----------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        return self.u @ self.v.T
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``(U Vᵀ) @ x``."""
+        return self.u @ (self.v.T @ x)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``(U Vᵀ)ᵀ @ x = V (Uᵀ x)``."""
+        return self.v @ (self.u.T @ x)
+
+    def scaled(self, alpha) -> "RkMatrix":
+        if self.rank == 0:
+            return self
+        return RkMatrix(alpha * self.u, self.v.copy())
+
+    def transposed(self) -> "RkMatrix":
+        return RkMatrix(self.v.copy(), self.u.copy())
+
+    def norm_estimate(self) -> float:
+        """Cheap upper bound on the Frobenius norm."""
+        if self.rank == 0:
+            return 0.0
+        return float(
+            np.linalg.norm(self.u, "fro") * np.linalg.norm(self.v, "fro")
+        )
+
+    def truncate(
+        self, tol: float, max_rank: Optional[int] = None,
+        norm_ref: Optional[float] = None,
+    ) -> "RkMatrix":
+        """Recompress via thin QR of both factors + small SVD.
+
+        Cost is ``O((m+n) r² + r³)`` — independent of the dense block size,
+        which is what makes hierarchical accumulation affordable.
+        """
+        r = self.rank
+        if r == 0:
+            return self
+        m, n = self.shape
+        if r >= min(m, n):
+            # factors thicker than the block: fall back to a dense SVD
+            return RkMatrix.from_dense(self.to_dense(), tol, max_rank, norm_ref)
+        qu, ru = np.linalg.qr(self.u)
+        qv, rv = np.linalg.qr(self.v)
+        core = ru @ rv.T
+        cu, cv = svd_truncate(core, tol, max_rank, norm_ref)
+        return RkMatrix(qu @ cu, qv @ cv)
+
+    def add(
+        self, other: "RkMatrix", tol: float,
+        max_rank: Optional[int] = None, norm_ref: Optional[float] = None,
+    ) -> "RkMatrix":
+        """``self + other`` followed by recompression."""
+        if self.shape != other.shape:
+            raise ConfigurationError(
+                f"shape mismatch in Rk add: {self.shape} vs {other.shape}"
+            )
+        if other.rank == 0:
+            return self
+        if self.rank == 0:
+            return other.truncate(tol, max_rank, norm_ref)
+        dtype = np.result_type(self.dtype, other.dtype)
+        u = np.hstack([self.u.astype(dtype, copy=False),
+                       other.u.astype(dtype, copy=False)])
+        v = np.hstack([self.v.astype(dtype, copy=False),
+                       other.v.astype(dtype, copy=False)])
+        return RkMatrix(u, v).truncate(tol, max_rank, norm_ref)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RkMatrix(shape={self.shape}, rank={self.rank})"
+
+
+def rk_sum(blocks: Sequence[RkMatrix], tol: float,
+           max_rank: Optional[int] = None) -> RkMatrix:
+    """Sum several same-shape Rk blocks with a single final recompression."""
+    blocks = [b for b in blocks if b.rank > 0]
+    if not blocks:
+        raise ConfigurationError("rk_sum needs at least one block")
+    if len(blocks) == 1:
+        return blocks[0].truncate(tol, max_rank)
+    dtype = np.result_type(*[b.dtype for b in blocks])
+    u = np.hstack([b.u.astype(dtype, copy=False) for b in blocks])
+    v = np.hstack([b.v.astype(dtype, copy=False) for b in blocks])
+    return RkMatrix(u, v).truncate(tol, max_rank)

@@ -1,0 +1,34 @@
+"""Logical memory accounting substrate.
+
+The paper's central constraint is the memory capacity of a single node
+(128 GiB): the standard sparse/dense couplings fail by lack of memory long
+before the proposed multi-solve / multi-factorization algorithms do.  On
+the reproduction machine we cannot exercise a real 128 GiB limit, so every
+solver in this package reports its significant buffers (frontal matrices,
+factors, dense Schur blocks, compressed structures, solve workspaces) to a
+:class:`MemoryTracker`.  The tracker maintains current and peak *logical*
+bytes, can enforce a hard limit (raising
+:class:`repro.utils.MemoryLimitExceeded`, the reproduction analog of an
+OOM), and breaks usage down by category for reporting.
+
+:mod:`repro.memory.model` complements the tracker with an analytic model
+extrapolating footprints to the paper's node sizes.
+"""
+
+from repro.memory.tracker import Allocation, MemoryTracker, fmt_bytes
+from repro.memory.model import (
+    CouplingMemoryModel,
+    ProblemDims,
+    paper_pipe_dims,
+    predict_max_unknowns,
+)
+
+__all__ = [
+    "Allocation",
+    "MemoryTracker",
+    "fmt_bytes",
+    "CouplingMemoryModel",
+    "ProblemDims",
+    "paper_pipe_dims",
+    "predict_max_unknowns",
+]

@@ -1,0 +1,290 @@
+"""Analytic memory model for the coupling algorithms.
+
+The reproduction runs at ~1/250 of the paper's problem sizes; this module
+extrapolates the logical footprints measured by
+:class:`repro.memory.MemoryTracker` back to paper scale (a 128 GiB node)
+and predicts, per algorithm, the largest coupled FEM/BEM system that fits —
+the quantity reported by the paper's Figure 10 (9M unknowns for compressed
+multi-solve, 2.5M for multi-factorization, 1.3M for the advanced coupling).
+
+Model structure
+---------------
+For a 3-D FEM mesh ordered by nested dissection, the factor size follows
+``nnz(L) ≈ c_f · n_v^{4/3}`` (the classic 3-D nested-dissection bound);
+BLR compression multiplies it by a ratio < 1.  The dense Schur block costs
+``n_s² · w`` bytes and its HODLR-compressed counterpart roughly
+``2 · n_s · r̄ · log₂(n_s / leaf) · w``.  The remaining terms are the
+per-algorithm workspaces (the ``Y_i``/``Z_i`` panels of multi-solve, the
+``X_ij`` blocks and the duplicated unsymmetric storage of
+multi-factorization).  All coefficients are overridable and can be fitted
+from measured runs with :meth:`CouplingMemoryModel.calibrated`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, Tuple
+
+from repro.utils.errors import ConfigurationError
+
+#: Ratio ``n_bem / N^(2/3)`` of the paper's pipe test case (Table I gives
+#: 3.717, 3.711, 3.714, 3.703 for N = 1M, 2M, 4M, 9M).
+PIPE_BEM_COEFF = 3.71
+
+
+@dataclass(frozen=True)
+class ProblemDims:
+    """Unknown counts of a coupled FEM/BEM system."""
+
+    n_total: int
+    n_fem: int
+    n_bem: int
+
+    def __post_init__(self):
+        if self.n_fem + self.n_bem != self.n_total:
+            raise ConfigurationError(
+                f"n_fem + n_bem must equal n_total "
+                f"({self.n_fem} + {self.n_bem} != {self.n_total})"
+            )
+        if min(self.n_fem, self.n_bem) <= 0:
+            raise ConfigurationError("unknown counts must be positive")
+
+
+def paper_pipe_dims(n_total: int) -> ProblemDims:
+    """FEM/BEM split following the paper's pipe test case (Table I)."""
+    n_bem = int(round(PIPE_BEM_COEFF * n_total ** (2.0 / 3.0)))
+    n_bem = min(n_bem, n_total - 1)
+    return ProblemDims(n_total=n_total, n_fem=n_total - n_bem, n_bem=n_bem)
+
+
+ALGORITHMS = (
+    "baseline",
+    "advanced",
+    "multi_solve",
+    "multi_solve_compressed",
+    "multi_factorization",
+    "multi_factorization_compressed",
+)
+
+
+@dataclass(frozen=True)
+class CouplingMemoryModel:
+    """Analytic peak-memory model, per algorithm.
+
+    Parameters
+    ----------
+    itemsize:
+        Bytes per matrix entry (8 for float64, 16 for complex128).
+    sparse_factor_coeff:
+        ``c_f`` in ``nnz(L) ≈ c_f · n_v^{4/3}``.
+    blr_ratio:
+        Factor-size multiplier when BLR compression is on in the sparse
+        solver (< 1).
+    hodlr_rank:
+        Mean rank of compressed off-diagonal blocks of ``S``.
+    hodlr_leaf:
+        Cluster-tree leaf size.
+    unsym_duplication:
+        Storage multiplier for the unsymmetric multifrontal mode required
+        by multi-factorization (the paper's "duplicated storage", §IV-B1).
+    coupling_nnz_per_row:
+        nnz per row of ``A_sv`` (thin geometric coupling band).
+    """
+
+    itemsize: int = 8
+    sparse_factor_coeff: float = 6.0
+    blr_ratio: float = 0.35
+    hodlr_rank: float = 16.0
+    hodlr_leaf: int = 64
+    unsym_duplication: float = 2.0
+    coupling_nnz_per_row: float = 30.0
+    sparse_compression: bool = True
+    #: Transient multifrontal workspace (fronts + update stack) per byte of
+    #: the dense Schur block a factorization+Schur call produces — the term
+    #: that makes the advanced coupling die long before the dense S alone
+    #: would fill the node (calibrated from this package's tracked runs).
+    schur_workspace_factor: float = 0.5
+
+    # -- component footprints ------------------------------------------------
+    def sparse_factor_bytes(self, n_fem: int, compressed: bool | None = None) -> float:
+        """Bytes of the multifrontal factors of ``A_vv``."""
+        if compressed is None:
+            compressed = self.sparse_compression
+        nnz = self.sparse_factor_coeff * float(n_fem) ** (4.0 / 3.0)
+        ratio = self.blr_ratio if compressed else 1.0
+        return nnz * ratio * self.itemsize
+
+    def dense_bytes(self, rows: int, cols: int | None = None) -> float:
+        """Bytes of an uncompressed dense ``rows × cols`` matrix."""
+        cols = rows if cols is None else cols
+        return float(rows) * float(cols) * self.itemsize
+
+    def hodlr_bytes(self, n: int) -> float:
+        """Bytes of a HODLR-compressed ``n × n`` matrix."""
+        if n <= self.hodlr_leaf:
+            return self.dense_bytes(n)
+        depth = max(1.0, math.log2(n / self.hodlr_leaf))
+        offdiag = 2.0 * n * self.hodlr_rank * depth * self.itemsize
+        diag = n * self.hodlr_leaf * self.itemsize
+        return offdiag + diag
+
+    def coupling_bytes(self, n_bem: int) -> float:
+        """Bytes of the sparse coupling matrix ``A_sv`` (CSR)."""
+        nnz = self.coupling_nnz_per_row * n_bem
+        return nnz * (self.itemsize + 4) + 8 * n_bem
+
+    # -- per-algorithm peaks -------------------------------------------------
+    def peak_components(
+        self,
+        algorithm: str,
+        dims: ProblemDims,
+        n_c: int = 256,
+        n_s_block: int = 2048,
+        n_b: int = 2,
+        out_of_core: bool = False,
+    ) -> Dict[str, float]:
+        """Dominant peak-memory components (bytes) for ``algorithm``.
+
+        Returns a dict of named components; sum them for the total peak.
+
+        ``out_of_core=True`` models the paper's §VII out-of-core direction:
+        the *stored* Schur representation (dense buffer or compressed
+        structure) is spilled to disk and no longer counts against RAM —
+        only the working panels, factors and frontal workspace remain
+        resident.  (The spilled bytes are returned under keys prefixed
+        ``disk:`` so planners can still report I/O volume.)
+        """
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        n_v, n_s = dims.n_fem, dims.n_bem
+        comp: Dict[str, float] = {
+            "coupling": self.coupling_bytes(n_s),
+        }
+        if algorithm == "baseline":
+            comp["sparse_factor"] = self.sparse_factor_bytes(n_v)
+            comp["solve_panel_Y"] = self.dense_bytes(n_v, n_s)
+            comp["spmm_panel_Z"] = self.dense_bytes(n_s)
+            comp["schur_dense"] = self.dense_bytes(n_s)
+        elif algorithm == "advanced":
+            comp["sparse_factor"] = self.sparse_factor_bytes(n_v)
+            # the solver returns X dense, the container holds S (built in
+            # place of A_ss), and the factorization+Schur call pays the
+            # frontal workspace of carrying all n_s Schur variables
+            comp["solver_schur_X"] = self.dense_bytes(n_s)
+            comp["schur_dense"] = self.dense_bytes(n_s)
+            comp["schur_front_workspace"] = (
+                self.schur_workspace_factor * self.dense_bytes(n_s)
+            )
+        elif algorithm == "multi_solve":
+            comp["sparse_factor"] = self.sparse_factor_bytes(n_v)
+            comp["solve_panel_Y"] = self.dense_bytes(n_v, n_c)
+            comp["spmm_panel_Z"] = self.dense_bytes(n_s, n_c)
+            comp["schur_dense"] = self.dense_bytes(n_s)
+        elif algorithm == "multi_solve_compressed":
+            comp["sparse_factor"] = self.sparse_factor_bytes(n_v)
+            comp["solve_panel_Y"] = self.dense_bytes(n_v, n_c)
+            comp["spmm_panel_Z"] = self.dense_bytes(n_s, min(n_s_block, n_s))
+            comp["schur_hodlr"] = self.hodlr_bytes(n_s)
+        elif algorithm == "multi_factorization":
+            block = max(1, math.ceil(n_s / n_b))
+            comp["sparse_factor"] = (
+                self.sparse_factor_bytes(n_v) * self.unsym_duplication
+            )
+            comp["schur_block_X"] = self.dense_bytes(block)
+            comp["schur_front_workspace"] = (
+                self.schur_workspace_factor * self.dense_bytes(block)
+            )
+            comp["schur_dense"] = self.dense_bytes(n_s)
+        elif algorithm == "multi_factorization_compressed":
+            block = max(1, math.ceil(n_s / n_b))
+            comp["sparse_factor"] = (
+                self.sparse_factor_bytes(n_v) * self.unsym_duplication
+            )
+            comp["schur_block_X"] = self.dense_bytes(block)
+            comp["schur_front_workspace"] = (
+                self.schur_workspace_factor * self.dense_bytes(block)
+            )
+            comp["schur_hodlr"] = self.hodlr_bytes(n_s)
+        if out_of_core:
+            for key in ("schur_dense", "schur_hodlr"):
+                if key in comp:
+                    comp[f"disk:{key}"] = comp.pop(key)
+        return comp
+
+    def peak_bytes(self, algorithm: str, dims: ProblemDims, **params) -> float:
+        """Total predicted *resident* peak for ``algorithm`` on ``dims``
+        (``disk:``-prefixed components do not count against RAM)."""
+        return sum(
+            v for k, v in
+            self.peak_components(algorithm, dims, **params).items()
+            if not k.startswith("disk:")
+        )
+
+    # -- calibration ---------------------------------------------------------
+    def calibrated(
+        self,
+        factor_samples: Iterable[Tuple[int, float]] = (),
+        hodlr_samples: Iterable[Tuple[int, float]] = (),
+    ) -> "CouplingMemoryModel":
+        """Return a copy with coefficients fitted to measured footprints.
+
+        Parameters
+        ----------
+        factor_samples:
+            Pairs ``(n_fem, measured_factor_bytes)`` from small runs with
+            the current ``sparse_compression`` setting.
+        hodlr_samples:
+            Pairs ``(n_bem, measured_hodlr_bytes)``.
+        """
+        updates = {}
+        factor_samples = list(factor_samples)
+        if factor_samples:
+            ratio = self.blr_ratio if self.sparse_compression else 1.0
+            coeffs = [
+                bytes_ / (float(n) ** (4.0 / 3.0) * ratio * self.itemsize)
+                for n, bytes_ in factor_samples
+            ]
+            updates["sparse_factor_coeff"] = sum(coeffs) / len(coeffs)
+        hodlr_samples = list(hodlr_samples)
+        if hodlr_samples:
+            ranks = []
+            for n, bytes_ in hodlr_samples:
+                if n <= self.hodlr_leaf:
+                    continue
+                depth = max(1.0, math.log2(n / self.hodlr_leaf))
+                diag = n * self.hodlr_leaf * self.itemsize
+                ranks.append(
+                    max(1.0, (bytes_ - diag) / (2.0 * n * depth * self.itemsize))
+                )
+            if ranks:
+                updates["hodlr_rank"] = sum(ranks) / len(ranks)
+        return replace(self, **updates)
+
+
+def predict_max_unknowns(
+    model: CouplingMemoryModel,
+    algorithm: str,
+    limit_bytes: float,
+    dims_fn: Callable[[int], ProblemDims] = paper_pipe_dims,
+    n_lo: int = 10_000,
+    n_hi: int = 1_000_000_000,
+    **params,
+) -> int:
+    """Largest ``n_total`` whose predicted peak fits under ``limit_bytes``.
+
+    Bisection on the (monotone) peak model; this is what regenerates the
+    paper's "largest processable system" numbers per algorithm.
+    """
+    if model.peak_bytes(algorithm, dims_fn(n_lo), **params) > limit_bytes:
+        return 0
+    if model.peak_bytes(algorithm, dims_fn(n_hi), **params) <= limit_bytes:
+        return n_hi
+    lo, hi = n_lo, n_hi
+    while hi - lo > max(1, lo // 1000):
+        mid = (lo + hi) // 2
+        if model.peak_bytes(algorithm, dims_fn(mid), **params) <= limit_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,213 @@
+"""Logical allocation tracker with peak accounting and a hard limit.
+
+Solvers call :meth:`MemoryTracker.allocate` (or the convenience
+:meth:`MemoryTracker.track_array`) for every buffer whose lifetime matters
+to the memory analysis, and free the returned handle when the buffer dies.
+The tracker is deliberately *logical*: it counts the bytes the algorithm
+needs, independently of interpreter overhead or allocator behaviour, which
+makes footprints deterministic and machine independent — exactly the
+quantities the paper's memory plots reason about.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.utils.errors import MemoryLimitExceeded
+
+_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(nbytes)
+    for unit in _UNITS:
+        if abs(value) < 1024.0 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+class Allocation:
+    """Handle for one tracked allocation.  Free exactly once via :meth:`free`."""
+
+    __slots__ = ("tracker", "nbytes", "category", "label", "_live")
+
+    def __init__(self, tracker: "MemoryTracker", nbytes: int, category: str, label: str):
+        self.tracker = tracker
+        self.nbytes = int(nbytes)
+        self.category = category
+        self.label = label
+        self._live = True
+
+    @property
+    def live(self) -> bool:
+        return self._live
+
+    def free(self) -> None:
+        """Release this allocation.  Freeing twice is a silent no-op."""
+        if self._live:
+            self._live = False
+            self.tracker._release(self)
+
+    def resize(self, new_nbytes: int) -> None:
+        """Adjust the tracked size in place (e.g. after recompression)."""
+        if not self._live:
+            raise RuntimeError("cannot resize a freed allocation")
+        delta = int(new_nbytes) - self.nbytes
+        if delta > 0:
+            self.tracker._charge(delta, self.category, self.label)
+        else:
+            self.tracker._uncharge(-delta, self.category)
+        self.nbytes = int(new_nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._live else "freed"
+        return f"Allocation({fmt_bytes(self.nbytes)}, {self.category!r}, {state})"
+
+
+class MemoryTracker:
+    """Tracks logical allocations; optionally enforces a hard byte limit.
+
+    Parameters
+    ----------
+    limit_bytes:
+        When set, an allocation pushing usage above the limit raises
+        :class:`MemoryLimitExceeded` — the reproduction analog of the
+        paper's out-of-memory failures.
+    name:
+        Cosmetic name used in reports.
+    """
+
+    def __init__(self, limit_bytes: Optional[int] = None, name: str = "") -> None:
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive or None")
+        self.name = name
+        self.limit_bytes = limit_bytes
+        self._in_use = 0
+        self._peak = 0
+        self._by_category: Dict[str, int] = {}
+        self._peak_by_category: Dict[str, int] = {}
+        self._n_allocations = 0
+
+    # -- internal bookkeeping ------------------------------------------------
+    def _charge(self, nbytes: int, category: str, label: str) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if (
+            self.limit_bytes is not None
+            and self._in_use + nbytes > self.limit_bytes
+        ):
+            raise MemoryLimitExceeded(nbytes, self._in_use, self.limit_bytes, label)
+        self._in_use += nbytes
+        self._peak = max(self._peak, self._in_use)
+        cur = self._by_category.get(category, 0) + nbytes
+        self._by_category[category] = cur
+        self._peak_by_category[category] = max(
+            self._peak_by_category.get(category, 0), cur
+        )
+
+    def _uncharge(self, nbytes: int, category: str) -> None:
+        self._in_use -= nbytes
+        self._by_category[category] = self._by_category.get(category, 0) - nbytes
+
+    def _release(self, alloc: Allocation) -> None:
+        self._uncharge(alloc.nbytes, alloc.category)
+
+    # -- public API ----------------------------------------------------------
+    def allocate(self, nbytes: int, category: str = "general", label: str = "") -> Allocation:
+        """Register ``nbytes`` of logical memory; returns a handle to free."""
+        self._charge(int(nbytes), category, label)
+        self._n_allocations += 1
+        return Allocation(self, int(nbytes), category, label)
+
+    def track_array(self, array: np.ndarray, category: str = "general", label: str = "") -> Allocation:
+        """Register an ndarray's buffer size."""
+        return self.allocate(array.nbytes, category, label)
+
+    @contextmanager
+    def borrow(self, nbytes: int, category: str = "workspace", label: str = "") -> Iterator[Allocation]:
+        """Temporarily charge ``nbytes`` for the duration of a ``with`` block."""
+        alloc = self.allocate(nbytes, category, label)
+        try:
+            yield alloc
+        finally:
+            alloc.free()
+
+    @property
+    def in_use(self) -> int:
+        """Currently tracked bytes."""
+        return self._in_use
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of tracked bytes since creation / last reset."""
+        return self._peak
+
+    @property
+    def n_allocations(self) -> int:
+        return self._n_allocations
+
+    def category_in_use(self, category: str) -> int:
+        return self._by_category.get(category, 0)
+
+    def category_peak(self, category: str) -> int:
+        return self._peak_by_category.get(category, 0)
+
+    @property
+    def categories(self) -> Dict[str, int]:
+        """Copy of the current per-category usage (non-zero entries)."""
+        return {k: v for k, v in self._by_category.items() if v != 0}
+
+    @property
+    def peak_categories(self) -> Dict[str, int]:
+        """Copy of the per-category peaks."""
+        return dict(self._peak_by_category)
+
+    def reset_peak(self) -> None:
+        """Reset peaks to the current usage."""
+        self._peak = self._in_use
+        self._peak_by_category = {
+            k: v for k, v in self._by_category.items() if v != 0
+        }
+
+    def assert_all_freed(self) -> None:
+        """Raise ``AssertionError`` if any tracked bytes are still live.
+
+        Used by the test suite to detect accounting leaks in solvers.
+        """
+        if self._in_use != 0:
+            leaks = {k: v for k, v in self._by_category.items() if v != 0}
+            raise AssertionError(
+                f"memory tracker {self.name!r} still has {self._in_use} B live: {leaks}"
+            )
+
+    def report(self) -> str:
+        """Multi-line human-readable usage report."""
+        lines = [
+            f"MemoryTracker {self.name!r}: in use {fmt_bytes(self._in_use)}, "
+            f"peak {fmt_bytes(self._peak)}"
+            + (
+                f", limit {fmt_bytes(self.limit_bytes)}"
+                if self.limit_bytes is not None
+                else ""
+            )
+        ]
+        for category in sorted(self._peak_by_category):
+            lines.append(
+                f"  {category:<24} peak {fmt_bytes(self._peak_by_category[category]):>12}"
+                f"  now {fmt_bytes(self._by_category.get(category, 0)):>12}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryTracker(in_use={fmt_bytes(self._in_use)}, "
+            f"peak={fmt_bytes(self._peak)}, limit="
+            f"{fmt_bytes(self.limit_bytes) if self.limit_bytes else None})"
+        )

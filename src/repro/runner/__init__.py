@@ -1,0 +1,55 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`~repro.runner.workloads` — scaled problem sizes, configuration
+  grids and the scaled memory limits playing the role of the paper's
+  128 GiB (pipe study) and 384 GiB (industrial study) nodes;
+* :mod:`~repro.runner.experiments` — one entry point per table/figure
+  (Table I, Figs. 10-13, Table II) returning structured rows;
+* :mod:`~repro.runner.reporting` — text renderers placing our measured
+  rows next to the paper's reference values;
+* :mod:`~repro.runner.paper_reference` — the paper's published numbers.
+"""
+
+from repro.runner.workloads import (
+    SCALE_FACTOR,
+    PIPE_STUDY_SIZES,
+    TABLE1_SIZES,
+    pipe_memory_limit,
+    industrial_memory_limit,
+)
+from repro.runner.experiments import (
+    run_table1,
+    run_fig10_fig11,
+    run_fig12,
+    run_fig13,
+    run_table2,
+)
+from repro.runner.reporting import (
+    render_table,
+    render_table1,
+    render_fig10,
+    render_fig11,
+    render_fig12,
+    render_fig13,
+    render_table2,
+)
+
+__all__ = [
+    "SCALE_FACTOR",
+    "PIPE_STUDY_SIZES",
+    "TABLE1_SIZES",
+    "pipe_memory_limit",
+    "industrial_memory_limit",
+    "run_table1",
+    "run_fig10_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_table2",
+    "render_table",
+    "render_table1",
+    "render_fig10",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "render_table2",
+]

@@ -1,0 +1,98 @@
+"""Command-line entry point for the experiment harness.
+
+Regenerate any of the paper's tables and figures from the shell::
+
+    python -m repro.runner table1
+    python -m repro.runner fig10 --sizes 4000 8000 16000
+    python -m repro.runner fig12 --n-total 8000
+    python -m repro.runner fig13 --n-total 4000
+    python -m repro.runner table2
+    python -m repro.runner all
+
+``fig10`` accepts ``--full`` for the complete configuration grid and size
+sweep (slow: the multi-factorization cells at large N take minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runner import experiments, reporting
+from repro.runner.workloads import PIPE_STUDY_SIZES
+
+
+def _cmd_table1(args) -> str:
+    return reporting.render_table1(experiments.run_table1())
+
+
+def _cmd_fig10(args) -> str:
+    sizes = args.sizes or (
+        PIPE_STUDY_SIZES if args.full else PIPE_STUDY_SIZES[:4]
+    )
+    rows = experiments.run_fig10_fig11(sizes=sizes)
+    return "\n\n".join([
+        reporting.render_fig10(rows), reporting.render_fig11(rows),
+    ])
+
+
+def _cmd_fig12(args) -> str:
+    return reporting.render_fig12(experiments.run_fig12(n_total=args.n_total))
+
+
+def _cmd_fig13(args) -> str:
+    return reporting.render_fig13(experiments.run_fig13(n_total=args.n_total))
+
+
+def _cmd_table2(args) -> str:
+    return reporting.render_table2(
+        experiments.run_table2(n_total=args.n_total)
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Regenerate the paper's tables and figures "
+                    "(scaled reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: unknown splits")
+
+    p10 = sub.add_parser("fig10", help="Figs. 10-11: capacity & accuracy")
+    p10.add_argument("--sizes", type=int, nargs="*", default=None)
+    p10.add_argument("--full", action="store_true",
+                     help="complete size sweep (slow)")
+
+    p12 = sub.add_parser("fig12", help="Fig. 12: multi-solve trade-off")
+    p12.add_argument("--n-total", type=int, default=None)
+
+    p13 = sub.add_parser("fig13", help="Fig. 13: multi-fact trade-off")
+    p13.add_argument("--n-total", type=int, default=None)
+
+    p2 = sub.add_parser("table2", help="Table II: industrial case (slow)")
+    p2.add_argument("--n-total", type=int, default=None)
+
+    sub.add_parser("all", help="everything except the slow table2")
+
+    args = parser.parse_args(argv)
+    commands = {
+        "table1": _cmd_table1,
+        "fig10": _cmd_fig10,
+        "fig12": _cmd_fig12,
+        "fig13": _cmd_fig13,
+        "table2": _cmd_table2,
+    }
+    if args.command == "all":
+        for name in ("table1", "fig10", "fig12", "fig13"):
+            ns = argparse.Namespace(sizes=None, full=False, n_total=None)
+            print(commands[name](ns))
+            print()
+    else:
+        print(commands[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""The :class:`SparseSolver` facade (MUMPS-equivalent API).
+
+This is the interface the coupling algorithms in :mod:`repro.core` consume,
+shaped after the paper's description of fully-featured sparse direct
+solvers (§II-C):
+
+* :meth:`SparseSolver.factorize` — *baseline usage*: analysis + numeric
+  factorization of a sparse matrix, returning a factorization handle whose
+  ``solve`` supports many right-hand sides and sparse-RHS exploitation;
+* :meth:`SparseSolver.factorize_schur` — *advanced usage*: the
+  "sparse factorization+Schur" building block.  The listed Schur variables
+  are kept uneliminated and their Schur complement is returned **as a
+  non-compressed dense matrix** — deliberately reproducing the API
+  limitation at the heart of the paper.  Every call re-runs analysis and
+  factorization from scratch, exactly like the repeated calls the
+  multi-factorization algorithm has to pay for ("implies a re-factorization
+  of A_vv at each iteration", §IV-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.memory.tracker import MemoryTracker
+from repro.sparse.blr import BLRConfig
+from repro.sparse.multifrontal import MultifrontalFactorization
+from repro.sparse.ordering import (
+    geometric_nested_dissection,
+    graph_nested_dissection,
+)
+from repro.sparse.partition import PartitionTree
+from repro.sparse.symbolic import SymbolicFactorization, symbolic_analysis
+from repro.utils.errors import ConfigurationError
+
+_ORDERINGS = ("geometric", "graph")
+
+
+class SparseSolver:
+    """Multifrontal sparse direct solver facade.
+
+    Parameters
+    ----------
+    ordering:
+        ``"geometric"`` (requires coordinates, default) or ``"graph"``.
+    leaf_size:
+        Nested-dissection leaf size (subdomain interiors).
+    amalgamate:
+        Supernode amalgamation threshold (merge tiny fronts); 0 disables.
+    blr:
+        :class:`BLRConfig` enabling low-rank panel compression, or ``None``
+        for uncompressed factors.
+    tracker:
+        Memory tracker shared with the caller.
+    """
+
+    def __init__(
+        self,
+        ordering: str = "geometric",
+        leaf_size: int = 96,
+        amalgamate: int = 32,
+        blr: Optional[BLRConfig] = None,
+        tracker: Optional[MemoryTracker] = None,
+    ):
+        if ordering not in _ORDERINGS:
+            raise ConfigurationError(
+                f"ordering must be one of {_ORDERINGS}, got {ordering!r}"
+            )
+        self.ordering = ordering
+        self.leaf_size = int(leaf_size)
+        self.amalgamate = int(amalgamate)
+        self.blr = blr
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+
+    # -- analysis -----------------------------------------------------------------
+    def build_tree(
+        self, a_interior: sp.spmatrix, coords: Optional[np.ndarray]
+    ) -> PartitionTree:
+        """Nested-dissection partition tree over the interior variables."""
+        if self.ordering == "geometric":
+            if coords is None:
+                raise ConfigurationError(
+                    "geometric ordering requires point coordinates; "
+                    "use ordering='graph' otherwise"
+                )
+            tree = geometric_nested_dissection(
+                a_interior, coords, leaf_size=self.leaf_size
+            )
+        else:
+            tree = graph_nested_dissection(a_interior, leaf_size=self.leaf_size)
+        if self.amalgamate > 0:
+            tree = tree.amalgamated(min_own=self.amalgamate)
+        return tree
+
+    # -- baseline usage ------------------------------------------------------------
+    def factorize(
+        self,
+        a: sp.spmatrix,
+        coords: Optional[np.ndarray] = None,
+        symmetric_values: Optional[bool] = None,
+    ) -> MultifrontalFactorization:
+        """Analyse and factorize ``a`` (paper §II-C1, *baseline usage*).
+
+        ``symmetric_values`` selects LDLᵀ (True) versus LU (False);
+        ``None`` probes the matrix.
+        """
+        a = a.tocsr()
+        if symmetric_values is None:
+            symmetric_values = _probe_symmetry(a)
+        tree = self.build_tree(a, coords)
+        symbolic = symbolic_analysis(a, tree)
+        return MultifrontalFactorization(
+            a, symbolic, symmetric_values, blr=self.blr, tracker=self.tracker
+        )
+
+    # -- advanced usage --------------------------------------------------------------
+    def factorize_schur(
+        self,
+        a_full: sp.spmatrix,
+        schur_vars: np.ndarray,
+        coords_interior: Optional[np.ndarray] = None,
+        symmetric_values: Optional[bool] = None,
+    ) -> MultifrontalFactorization:
+        """The *sparse factorization+Schur* building block (paper §II-C2).
+
+        Parameters
+        ----------
+        a_full:
+            The full sparse matrix including the Schur variables (the
+            paper's ``W`` matrices).
+        schur_vars:
+            Row/column indices of ``a_full`` to keep uneliminated.
+        coords_interior:
+            Coordinates of the interior variables (ascending id order),
+            for the geometric ordering.
+
+        Returns
+        -------
+        MultifrontalFactorization
+            With ``.schur`` set to the dense Schur complement
+            ``A₂₂ − A₂₁ A₁₁⁻¹ A₁₂`` (dense by design; see module docstring)
+            and ``solve`` available for the interior block.
+        """
+        a_full = a_full.tocsr()
+        schur_vars = np.asarray(schur_vars, dtype=np.intp)
+        if len(np.unique(schur_vars)) != len(schur_vars):
+            raise ConfigurationError("schur_vars must be unique")
+        if symmetric_values is None:
+            symmetric_values = _probe_symmetry(a_full)
+        interior_mask = np.ones(a_full.shape[0], dtype=bool)
+        interior_mask[schur_vars] = False
+        interior_ids = np.flatnonzero(interior_mask)
+        a_int = a_full[interior_ids][:, interior_ids].tocsr()
+        tree = self.build_tree(a_int, coords_interior)
+        symbolic = symbolic_analysis(a_full, tree, schur_vars=schur_vars)
+        return MultifrontalFactorization(
+            a_full, symbolic, symmetric_values, blr=self.blr,
+            tracker=self.tracker,
+        )
+
+
+def _probe_symmetry(a: sp.csr_matrix, samples: int = 16) -> bool:
+    """Cheap check whether the matrix values are symmetric (up to roundoff)."""
+    scale = float(np.abs(a.data).max()) if a.nnz else 1.0
+    tol = 1e-12 * max(scale, 1e-300)
+    if a.shape[0] <= 512:
+        diff = a - a.T
+        return len(diff.data) == 0 or float(np.abs(diff.data).max()) <= tol
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, a.shape[0], size=samples)
+    for i in idx:
+        row = a[int(i)].toarray().ravel()
+        col = a[:, int(i)].toarray().ravel()
+        if not np.allclose(row, col, rtol=0.0, atol=tol):
+            return False
+    return True

@@ -1,0 +1,44 @@
+"""Shared utilities: errors, timers, validation and dtype helpers.
+
+These are deliberately dependency-light; every other subpackage builds on
+them.  Nothing here knows about solvers or meshes.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    MemoryLimitExceeded,
+    NumericalError,
+    SingularMatrixError,
+)
+from repro.utils.timer import PhaseTimer, Timer
+from repro.utils.dtypes import (
+    is_complex_dtype,
+    promote_dtype,
+    real_dtype_of,
+    itemsize_of,
+)
+from repro.utils.validation import (
+    as_2d_array,
+    check_square,
+    check_same_length,
+    check_positive,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "MemoryLimitExceeded",
+    "NumericalError",
+    "SingularMatrixError",
+    "PhaseTimer",
+    "Timer",
+    "is_complex_dtype",
+    "promote_dtype",
+    "real_dtype_of",
+    "itemsize_of",
+    "as_2d_array",
+    "check_square",
+    "check_same_length",
+    "check_positive",
+]

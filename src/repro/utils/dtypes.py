@@ -1,0 +1,45 @@
+"""Dtype helpers shared by the solvers.
+
+The pipe study runs in real ``float64`` while the industrial case is
+``complex128`` (the paper uses complex single precision; see DESIGN.md §6).
+These helpers centralise the little dtype logic needed so that every module
+handles real and complex inputs uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_complex_dtype(dtype) -> bool:
+    """True when ``dtype`` is a complex floating dtype."""
+    return np.issubdtype(np.dtype(dtype), np.complexfloating)
+
+
+def promote_dtype(*dtypes) -> np.dtype:
+    """The smallest floating dtype able to represent all inputs.
+
+    Integer inputs are promoted to ``float64`` because every solver in this
+    package works in floating point.
+    """
+    result = np.result_type(*dtypes)
+    if not np.issubdtype(result, np.inexact):
+        result = np.dtype(np.float64)
+    return np.dtype(result)
+
+
+def real_dtype_of(dtype) -> np.dtype:
+    """Real dtype matching the precision of ``dtype``.
+
+    ``complex128 -> float64``, ``complex64 -> float32``; real dtypes map to
+    themselves.
+    """
+    dtype = np.dtype(dtype)
+    if is_complex_dtype(dtype):
+        return np.dtype(np.zeros(0, dtype=dtype).real.dtype)
+    return dtype
+
+
+def itemsize_of(dtype) -> int:
+    """Bytes per element of ``dtype``."""
+    return int(np.dtype(dtype).itemsize)

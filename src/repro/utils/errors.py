@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised on purpose by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid combination of solver options or parameters was supplied."""
+
+
+class MemoryLimitExceeded(ReproError):
+    """A logical allocation would exceed the configured memory limit.
+
+    This is the reproduction analog of the paper's out-of-memory failures
+    on the 128 GiB node: solvers register every significant buffer with a
+    :class:`repro.memory.MemoryTracker`, and when a hard limit is set the
+    tracker raises this exception instead of letting the process grow.
+
+    Attributes
+    ----------
+    requested:
+        Size in bytes of the allocation that failed.
+    in_use:
+        Bytes already tracked when the allocation was attempted.
+    limit:
+        The configured limit in bytes.
+    """
+
+    def __init__(self, requested: int, in_use: int, limit: int, label: str = ""):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.limit = int(limit)
+        self.label = label
+        super().__init__(
+            f"allocation of {requested} B"
+            + (f" for {label!r}" if label else "")
+            + f" exceeds memory limit: {in_use} B in use, limit {limit} B"
+        )
+
+
+class NumericalError(ReproError):
+    """A numerical operation failed (breakdown, non-convergence, NaN)."""
+
+
+class SingularMatrixError(NumericalError):
+    """A factorization encountered an (numerically) singular pivot block."""

@@ -1,0 +1,98 @@
+"""Lightweight wall-clock timing helpers.
+
+The coupling algorithms report a per-phase time breakdown (sparse
+factorization, sparse solve, compression, dense factorization, ...) the same
+way the paper's experimental section does.  :class:`PhaseTimer` accumulates
+named phases; :class:`Timer` is a bare context-manager stopwatch.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Timer:
+    """A simple stopwatch usable as a context manager.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    The same phase may be entered many times (e.g. one sparse solve per
+    column block in multi-solve); times accumulate.  Nested phases are
+    allowed and each accounts its own wall time independently.
+    """
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating elapsed time into ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._acc[name] = self._acc.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually add ``seconds`` to phase ``name``."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self._acc[name] = self._acc.get(name, 0.0) + float(seconds)
+
+    def get(self, name: str) -> float:
+        """Accumulated seconds for ``name`` (0.0 if never entered)."""
+        return self._acc.get(name, 0.0)
+
+    @property
+    def phases(self) -> Dict[str, float]:
+        """A copy of the accumulated phase -> seconds mapping."""
+        return dict(self._acc)
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase times (nested phases count twice by design)."""
+        return sum(self._acc.values())
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's accumulated phases into this one."""
+        for name, seconds in other._acc.items():
+            self.add(name, seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self._acc.items()))
+        return f"PhaseTimer({inner})"

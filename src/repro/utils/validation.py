@@ -1,0 +1,42 @@
+"""Input validation helpers used at the public API boundary.
+
+Internal hot loops never re-validate; validation happens once when data
+enters a solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def as_2d_array(x, dtype=None, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` into a 2-D ndarray (column vector for 1-D input)."""
+    arr = np.asarray(x, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be 1-D or 2-D, got ndim={arr.ndim}")
+    return arr
+
+
+def check_square(a, name: str = "matrix") -> None:
+    """Raise unless ``a`` has a square 2-D shape."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ConfigurationError(f"{name} must be square, got shape {a.shape}")
+
+
+def check_same_length(a, b, name_a: str = "a", name_b: str = "b") -> None:
+    """Raise unless ``len(a) == len(b)``."""
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )
+
+
+def check_positive(value, name: str = "value") -> None:
+    """Raise unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite.
+
+Problem generation dominates test time, so the coupled test problems are
+session-scoped; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fembem import generate_aircraft_case, generate_pipe_case
+
+
+@pytest.fixture(scope="session")
+def pipe_small():
+    """A small real symmetric pipe case (fast; shared, do not mutate)."""
+    return generate_pipe_case(1_600, seed=7)
+
+
+@pytest.fixture(scope="session")
+def pipe_medium():
+    """A medium pipe case for integration tests (shared, do not mutate)."""
+    return generate_pipe_case(3_000, seed=3)
+
+
+@pytest.fixture(scope="session")
+def aircraft_small():
+    """A small complex non-symmetric industrial case (shared, do not mutate)."""
+    # a larger surface share than the geometric default so the dense part
+    # is big enough for compression effects to be observable in tests
+    return generate_aircraft_case(1_800, seed=5, bem_fraction=0.25)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,113 @@
+"""Tests for adaptive cross approximation."""
+
+import numpy as np
+import pytest
+
+from repro.fembem.bem import helmholtz_kernel, laplace_kernel
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix.aca import aca, aca_dense
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def separated_clouds():
+    """Two well-separated point clouds — an admissible block."""
+    a = box_surface_points((2.0, 2.0, 2.0), 120, seed=1)
+    b = box_surface_points((2.0, 2.0, 2.0), 100, seed=2,
+                           origin=(8.0, 0.0, 0.0))
+    return a, b
+
+
+class TestAcaOnKernels:
+    def test_laplace_admissible_block_compresses(self, separated_clouds):
+        x, y = separated_clouds
+        g = laplace_kernel(0.05)(x, y)
+        rk = aca_dense(g, tol=1e-8)
+        assert rk.rank < min(g.shape) // 3  # genuinely low rank
+        err = np.abs(rk.to_dense() - g).max()
+        assert err < 1e-6 * np.abs(g).max()
+
+    def test_tolerance_controls_rank(self, separated_clouds):
+        x, y = separated_clouds
+        g = laplace_kernel(0.05)(x, y)
+        loose = aca_dense(g, tol=1e-2).rank
+        tight = aca_dense(g, tol=1e-9).rank
+        assert loose < tight
+
+    def test_helmholtz_complex_kernel(self, separated_clouds):
+        x, y = separated_clouds
+        g = helmholtz_kernel(1.0, 0.05)(x, y)
+        rk = aca(
+            lambda i: g[i], lambda j: g[:, j], g.shape, tol=1e-8,
+            dtype=g.dtype,
+        )
+        err = np.abs(rk.to_dense() - g).max()
+        assert err < 1e-6 * np.abs(g).max()
+
+    def test_lazy_evaluation_only_touches_crosses(self, separated_clouds):
+        x, y = separated_clouds
+        g = laplace_kernel(0.05)(x, y)
+        touched_rows = []
+        touched_cols = []
+
+        def row_fn(i):
+            touched_rows.append(i)
+            return g[i]
+
+        def col_fn(j):
+            touched_cols.append(j)
+            return g[:, j]
+
+        rk = aca(row_fn, col_fn, g.shape, tol=1e-6, dtype=g.dtype)
+        # ACA's whole point: far fewer evaluations than the full block
+        # (the verification probes add a handful of extra columns)
+        assert len(touched_rows) <= rk.rank + 2
+        assert len(touched_cols) <= 2 * rk.rank + 16
+        assert len(touched_cols) < g.shape[1] // 2
+
+
+class TestAcaEdgeCases:
+    def test_zero_block(self):
+        rk = aca_dense(np.zeros((10, 8)), tol=1e-6)
+        assert rk.rank == 0
+
+    def test_exact_low_rank_terminates_early(self, rng):
+        a = np.outer(rng.standard_normal(20), rng.standard_normal(15))
+        a += np.outer(rng.standard_normal(20), rng.standard_normal(15))
+        rk = aca_dense(a, tol=1e-12)
+        assert rk.rank <= 4  # small overshoot allowed, not min(m,n)
+        np.testing.assert_allclose(rk.to_dense(), a, atol=1e-8)
+
+    def test_max_rank_cap(self, rng):
+        a = rng.standard_normal((30, 30))
+        rk = aca_dense(a, tol=1e-15, max_rank=5)
+        assert rk.rank <= 5
+
+    def test_full_rank_block_recovered_exactly_at_cap(self, rng):
+        a = rng.standard_normal((12, 12))
+        rk = aca_dense(a, tol=1e-15)
+        np.testing.assert_allclose(rk.to_dense(), a, atol=1e-7)
+
+    def test_single_row_block(self, rng):
+        a = rng.standard_normal((1, 10))
+        rk = aca_dense(a, tol=1e-10)
+        np.testing.assert_allclose(rk.to_dense(), a, atol=1e-10)
+
+    def test_single_column_block(self, rng):
+        a = rng.standard_normal((10, 1))
+        rk = aca_dense(a, tol=1e-10)
+        np.testing.assert_allclose(rk.to_dense(), a, atol=1e-10)
+
+    def test_block_with_zero_rows(self, rng):
+        a = np.zeros((10, 10))
+        a[7] = rng.standard_normal(10)
+        rk = aca_dense(a, tol=1e-10)
+        np.testing.assert_allclose(rk.to_dense(), a, atol=1e-10)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aca(lambda i: None, lambda j: None, (0, 5), tol=1e-3)
+
+    def test_non_2d_dense_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aca_dense(np.zeros(5), tol=1e-3)

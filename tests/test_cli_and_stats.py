@@ -1,0 +1,79 @@
+"""Tests for the CLI entry point and the factorization statistics."""
+
+import numpy as np
+import pytest
+
+from repro.runner.__main__ import main as runner_main
+from repro.sparse import BLRConfig, SparseSolver
+
+
+class TestStatistics:
+    def test_fields_present_and_consistent(self, pipe_small):
+        f = SparseSolver().factorize(
+            pipe_small.a_vv, coords=pipe_small.coords_v,
+            symmetric_values=True,
+        )
+        stats = f.statistics()
+        assert stats["mode"] == "ldlt"
+        assert stats["n_fronts"] >= 1
+        assert stats["peak_front_size"] >= 1
+        assert stats["factor_entries"] > pipe_small.a_vv.nnz / 2
+        assert stats["factor_bytes"] == f.factor_bytes
+        assert stats["flops_estimate"] > 0
+        f.free()
+
+    def test_lu_mode_reported(self, aircraft_small):
+        f = SparseSolver().factorize(
+            aircraft_small.a_vv, coords=aircraft_small.coords_v,
+            symmetric_values=False,
+        )
+        assert f.statistics()["mode"] == "lu"
+        f.free()
+
+    def test_blr_panel_counts(self, pipe_small):
+        f = SparseSolver(
+            blr=BLRConfig(tol=1e-1, min_panel=16, max_rank_fraction=1.0)
+        ).factorize(pipe_small.a_vv, coords=pipe_small.coords_v,
+                    symmetric_values=True)
+        stats = f.statistics()
+        assert 0 < stats["blr_compressed_panels"] <= stats["blr_total_panels"]
+        f.free()
+
+    def test_flops_grow_with_problem_size(self):
+        from repro.fembem import generate_pipe_case
+        small = generate_pipe_case(1_000)
+        big = generate_pipe_case(3_000)
+        fs = SparseSolver().factorize(small.a_vv, coords=small.coords_v,
+                                      symmetric_values=True)
+        fb = SparseSolver().factorize(big.a_vv, coords=big.coords_v,
+                                      symmetric_values=True)
+        assert fb.statistics()["flops_estimate"] > (
+            2 * fs.statistics()["flops_estimate"]
+        )
+        fs.free()
+        fb.free()
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert runner_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "n_BEM" in out and "paper" in out
+
+    def test_fig12_small(self, capsys):
+        assert runner_main(["fig12", "--n-total", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "n_S" in out
+
+    def test_fig13_small(self, capsys):
+        assert runner_main(["fig13", "--n-total", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "factorizations" in out
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            runner_main(["nonsense"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            runner_main([])

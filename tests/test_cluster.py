@@ -1,0 +1,120 @@
+"""Tests for geometric cluster trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix.cluster import build_cluster_tree
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def points():
+    return box_surface_points((6.0, 2.0, 2.0), 400, seed=21)
+
+
+class TestBuild:
+    def test_perm_is_a_permutation(self, points):
+        tree = build_cluster_tree(points, leaf_size=32)
+        np.testing.assert_array_equal(np.sort(tree.perm),
+                                      np.arange(len(points)))
+
+    def test_inv_perm_inverts(self, points):
+        tree = build_cluster_tree(points, leaf_size=32)
+        np.testing.assert_array_equal(tree.perm[tree.inv_perm],
+                                      np.arange(len(points)))
+
+    def test_leaves_partition_range(self, points):
+        tree = build_cluster_tree(points, leaf_size=32)
+        leaves = list(tree.leaves())
+        starts = [l.start for l in leaves]
+        stops = [l.stop for l in leaves]
+        assert starts[0] == 0
+        assert stops[-1] == len(points)
+        assert starts[1:] == stops[:-1]  # contiguous, left to right
+
+    def test_leaf_size_respected(self, points):
+        tree = build_cluster_tree(points, leaf_size=32)
+        assert all(l.size <= 32 for l in tree.leaves())
+
+    def test_children_split_parent_range(self, points):
+        tree = build_cluster_tree(points, leaf_size=50)
+
+        def check(node):
+            if node.is_leaf:
+                return
+            c1, c2 = node.children
+            assert c1.start == node.start
+            assert c1.stop == c2.start
+            assert c2.stop == node.stop
+            check(c1)
+            check(c2)
+
+        check(tree.root)
+
+    def test_bounding_boxes_contain_points(self, points):
+        tree = build_cluster_tree(points, leaf_size=32)
+        permuted = tree.permuted_points()
+
+        def check(node):
+            pts = permuted[node.start : node.stop]
+            assert (pts >= node.bbox_min - 1e-12).all()
+            assert (pts <= node.bbox_max + 1e-12).all()
+            for c in node.children:
+                check(c)
+
+        check(tree.root)
+
+    def test_depth_is_logarithmic(self, points):
+        tree = build_cluster_tree(points, leaf_size=25)
+        assert tree.depth() <= int(np.ceil(np.log2(len(points) / 25))) + 2
+
+    def test_single_point(self):
+        tree = build_cluster_tree(np.zeros((1, 3)), leaf_size=4)
+        assert tree.root.is_leaf
+        assert tree.n == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster_tree(np.zeros((0, 3)))
+
+    def test_bad_leaf_size_rejected(self, points):
+        with pytest.raises(ConfigurationError):
+            build_cluster_tree(points, leaf_size=0)
+
+    def test_duplicate_points_handled(self):
+        pts = np.zeros((100, 3))
+        tree = build_cluster_tree(pts, leaf_size=16)
+        # splitting identical coordinates must still terminate and cover
+        np.testing.assert_array_equal(np.sort(tree.perm), np.arange(100))
+
+
+class TestGeometry:
+    def test_diameter(self):
+        pts = np.array([[0.0, 0, 0], [3.0, 4.0, 0]])
+        tree = build_cluster_tree(pts, leaf_size=4)
+        assert tree.root.diameter() == pytest.approx(5.0)
+
+    def test_distance_between_disjoint_boxes(self, points):
+        tree = build_cluster_tree(points, leaf_size=64)
+        if not tree.root.is_leaf:
+            c1, c2 = tree.root.children
+            assert c1.distance_to(c2) >= 0.0
+            assert c1.distance_to(c1) == 0.0
+
+    def test_node_count_consistency(self, points):
+        tree = build_cluster_tree(points, leaf_size=32)
+        leaves = sum(1 for _ in tree.leaves())
+        assert tree.node_count() == 2 * leaves - 1  # full binary tree
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 300), leaf=st.integers(1, 64), seed=st.integers(0, 99))
+def test_property_tree_always_valid(n, leaf, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1, 1, size=(n, 3))
+    tree = build_cluster_tree(pts, leaf_size=leaf)
+    np.testing.assert_array_equal(np.sort(tree.perm), np.arange(n))
+    assert all(l.size <= leaf for l in tree.leaves())

@@ -1,0 +1,62 @@
+"""Integration tests on the complex non-symmetric industrial case."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+
+EPS = 1e-4
+UNCOMPRESSED = SolverConfig(dense_backend="spido", n_c=64, n_b=2, epsilon=EPS)
+COMPRESSED = SolverConfig(dense_backend="hmat", n_c=64, n_s_block=128,
+                          n_b=2, epsilon=EPS)
+
+
+class TestComplexNonsymmetric:
+    def test_problem_is_complex_nonsymmetric(self, aircraft_small):
+        assert np.issubdtype(aircraft_small.dtype, np.complexfloating)
+        assert not aircraft_small.symmetric
+
+    @pytest.mark.parametrize("algorithm", [
+        "baseline", "advanced", "multi_solve", "multi_factorization",
+    ])
+    def test_uncompressed_accurate(self, aircraft_small, algorithm):
+        sol = solve_coupled(aircraft_small, algorithm, UNCOMPRESSED)
+        assert sol.relative_error < 1e-4
+
+    @pytest.mark.parametrize("algorithm",
+                             ["multi_solve", "multi_factorization"])
+    def test_compressed_below_epsilon(self, aircraft_small, algorithm):
+        sol = solve_coupled(aircraft_small, algorithm, COMPRESSED)
+        assert sol.relative_error < EPS
+
+    def test_solution_is_complex(self, aircraft_small):
+        sol = solve_coupled(aircraft_small, "multi_solve", COMPRESSED)
+        assert np.issubdtype(sol.x_v.dtype, np.complexfloating)
+        assert np.abs(sol.x.imag).max() > 0
+
+    def test_algorithms_agree(self, aircraft_small):
+        a = solve_coupled(aircraft_small, "multi_solve", UNCOMPRESSED)
+        b = solve_coupled(aircraft_small, "multi_factorization", UNCOMPRESSED)
+        # both within the BLR tolerance of the exact solution, hence of
+        # each other (multi-solve routes the BLR error through the solve
+        # panels, multi-factorization through the Schur blocks)
+        np.testing.assert_allclose(a.x, b.x, atol=2e-5)
+
+    def test_unsymmetric_mode_duplicates_factor_storage(self, aircraft_small):
+        """Multi-factorization pays the paper's duplicated-storage cost:
+        its per-call factor (unsymmetric W) is larger than multi-solve's
+        factor of A_vv alone."""
+        ms = solve_coupled(aircraft_small, "multi_solve", UNCOMPRESSED)
+        mf = solve_coupled(aircraft_small, "multi_factorization",
+                           UNCOMPRESSED)
+        assert mf.stats.sparse_factor_bytes > ms.stats.sparse_factor_bytes
+
+    def test_compressed_store_overhead_bounded(self, aircraft_small):
+        """At this tiny surface size (n_bem < 500) the oscillatory complex
+        kernel's ranks are too high for HODLR to win outright at the tight
+        internal tolerance — the genuine shrink is asserted on the pipe
+        case and on the full-size industrial bench (Table II).  Here we
+        only require the compressed store not to blow up."""
+        dense = solve_coupled(aircraft_small, "multi_solve", UNCOMPRESSED)
+        comp = solve_coupled(aircraft_small, "multi_solve", COMPRESSED)
+        assert comp.stats.schur_bytes < 1.5 * dense.stats.schur_bytes

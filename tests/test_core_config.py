@@ -1,0 +1,67 @@
+"""Tests for SolverConfig validation and helpers."""
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.memory import MemoryTracker
+from repro.utils.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        cfg = SolverConfig()
+        assert cfg.dense_backend == "spido"
+        assert cfg.epsilon == 1e-3
+
+    @pytest.mark.parametrize("field,value", [
+        ("dense_backend", "lapack"),
+        ("compressor", "rrqr"),
+        ("ordering", "amd"),
+        ("epsilon", 0.0),
+        ("epsilon", -1.0),
+        ("n_c", 0),
+        ("n_s_block", 0),
+        ("n_b", 0),
+        ("nd_leaf_size", 0),
+        ("hodlr_leaf_size", 0),
+        ("dense_block_size", 0),
+        ("memory_limit", 0),
+        ("compression_safety", 0.0),
+        ("compression_safety", 1.5),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(**{field: value})
+
+    def test_frozen(self):
+        cfg = SolverConfig()
+        with pytest.raises(Exception):
+            cfg.n_c = 7
+
+
+class TestHelpers:
+    def test_coupling_name(self):
+        assert SolverConfig(dense_backend="spido").coupling_name == "MUMPS/SPIDO"
+        assert SolverConfig(dense_backend="hmat").coupling_name == "MUMPS/HMAT"
+
+    def test_blr_config_reflects_compression_flag(self):
+        assert SolverConfig(sparse_compression=False).blr_config() is None
+        blr = SolverConfig(epsilon=1e-5).blr_config()
+        assert blr is not None and blr.tol == 1e-5
+
+    def test_hierarchical_tol_below_epsilon(self):
+        cfg = SolverConfig(epsilon=1e-3)
+        assert cfg.hierarchical_tol < cfg.epsilon
+
+    def test_make_tracker_honours_limit(self):
+        t = SolverConfig(memory_limit=1234).make_tracker("x")
+        assert isinstance(t, MemoryTracker)
+        assert t.limit_bytes == 1234
+        assert SolverConfig().make_tracker().limit_bytes is None
+
+    def test_with_updates_functionally(self):
+        cfg = SolverConfig(n_c=64)
+        cfg2 = cfg.with_(n_c=128, dense_backend="hmat")
+        assert cfg.n_c == 64
+        assert cfg2.n_c == 128
+        assert cfg2.dense_backend == "hmat"

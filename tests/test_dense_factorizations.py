@@ -1,0 +1,173 @@
+"""Tests for blocked LU, LDLᵀ and Cholesky factorizations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import lu_factor as scipy_lu_factor
+
+from repro.dense.blocked_lu import blocked_lu, lu_solve
+from repro.dense.cholesky import blocked_cholesky, cholesky_solve
+from repro.dense.ldlt import blocked_ldlt, ldlt_solve
+from repro.utils.errors import SingularMatrixError
+
+
+def _well_conditioned(rng, n, dtype=np.float64):
+    a = rng.standard_normal((n, n)).astype(dtype)
+    if np.issubdtype(dtype, np.complexfloating):
+        a = a + 1j * rng.standard_normal((n, n))
+    a += n * 0.05 * np.eye(n)
+    return a
+
+
+class TestBlockedLU:
+    @pytest.mark.parametrize("n,bs", [(1, 1), (7, 3), (50, 8), (128, 128),
+                                      (257, 64)])
+    def test_solve_accuracy(self, rng, n, bs):
+        a = _well_conditioned(rng, n)
+        b = rng.standard_normal((n, 3))
+        lu, piv = blocked_lu(a, block_size=bs)
+        x = lu_solve(lu, piv, b, block_size=bs)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8, atol=1e-8)
+
+    def test_matches_lapack_factors(self, rng):
+        """With one panel the compact LU must equal LAPACK's exactly."""
+        a = _well_conditioned(rng, 40)
+        lu, piv = blocked_lu(a, block_size=64)
+        lu_ref, piv_ref = scipy_lu_factor(a)
+        np.testing.assert_allclose(lu, lu_ref, rtol=1e-12)
+        np.testing.assert_array_equal(piv, piv_ref)
+
+    def test_transpose_solve(self, rng):
+        a = _well_conditioned(rng, 90)
+        b = rng.standard_normal(90)
+        lu, piv = blocked_lu(a, block_size=32)
+        x = lu_solve(lu, piv, b, trans=1, block_size=32)
+        np.testing.assert_allclose(a.T @ x, b, rtol=1e-8)
+
+    def test_pivoting_handles_zero_leading_entry(self, rng):
+        a = _well_conditioned(rng, 30)
+        a[0, 0] = 0.0
+        b = rng.standard_normal(30)
+        lu, piv = blocked_lu(a, block_size=8)
+        x = lu_solve(lu, piv, b, block_size=8)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8)
+
+    def test_complex_nonsymmetric(self, rng):
+        a = _well_conditioned(rng, 70, np.complex128)
+        b = rng.standard_normal((70, 2)) + 1j * rng.standard_normal((70, 2))
+        lu, piv = blocked_lu(a, block_size=20)
+        x = lu_solve(lu, piv, b, block_size=20)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8)
+
+    def test_singular_matrix_raises(self):
+        a = np.zeros((5, 5))
+        with pytest.raises(SingularMatrixError):
+            blocked_lu(a)
+
+    def test_non_square_rejected(self):
+        from repro.utils.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            blocked_lu(np.zeros((3, 4)))
+
+    def test_input_not_modified(self, rng):
+        a = _well_conditioned(rng, 20)
+        a0 = a.copy()
+        blocked_lu(a, block_size=8)
+        np.testing.assert_array_equal(a, a0)
+
+    def test_overwrite_reuses_buffer(self, rng):
+        a = _well_conditioned(rng, 20)
+        lu, _ = blocked_lu(a, block_size=8, overwrite=True)
+        assert lu is a
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 48), bs=st.integers(1, 50), seed=st.integers(0, 500))
+    def test_property_plu_reconstructs(self, n, bs, seed):
+        rng = np.random.default_rng(seed)
+        a = _well_conditioned(rng, n)
+        lu, piv = blocked_lu(a, block_size=bs)
+        x = lu_solve(lu, piv, np.eye(n), block_size=bs)
+        np.testing.assert_allclose(a @ x, np.eye(n), atol=1e-6)
+
+
+class TestBlockedLDLT:
+    @pytest.mark.parametrize("n,bs", [(1, 1), (10, 4), (128, 128), (200, 64)])
+    def test_real_symmetric(self, rng, n, bs):
+        a = rng.standard_normal((n, n))
+        a = a + a.T + 4 * n * 0.05 * np.eye(n)
+        l, d = blocked_ldlt(a, block_size=bs)
+        np.testing.assert_allclose((l * d) @ l.T, a, rtol=1e-8, atol=1e-8)
+
+    def test_l_is_unit_lower(self, rng):
+        a = rng.standard_normal((30, 30))
+        a = a + a.T + 10 * np.eye(30)
+        l, _ = blocked_ldlt(a, block_size=8)
+        np.testing.assert_allclose(np.diag(l), 1.0)
+        assert np.allclose(np.triu(l, 1), 0.0)
+
+    def test_solve(self, rng):
+        a = rng.standard_normal((150, 150))
+        a = a + a.T + 30 * np.eye(150)
+        b = rng.standard_normal((150, 3))
+        l, d = blocked_ldlt(a, block_size=48)
+        x = ldlt_solve(l, d, b, block_size=48)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8)
+
+    def test_complex_symmetric_not_hermitian(self, rng):
+        """LDLᵀ must use the plain transpose (complex symmetric input)."""
+        n = 80
+        a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = a + a.T + 20 * np.eye(n)
+        assert not np.allclose(a, a.conj().T)  # genuinely non-Hermitian
+        l, d = blocked_ldlt(a, block_size=32)
+        np.testing.assert_allclose((l * d) @ l.T, a, rtol=1e-8)
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = ldlt_solve(l, d, b, block_size=32)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8)
+
+    def test_only_lower_triangle_read(self, rng):
+        a = rng.standard_normal((40, 40))
+        a = a + a.T + 15 * np.eye(40)
+        garbage = a.copy()
+        garbage[np.triu_indices(40, 1)] = 1e9
+        l1, d1 = blocked_ldlt(a, block_size=16)
+        l2, d2 = blocked_ldlt(garbage, block_size=16)
+        np.testing.assert_allclose(l1, l2)
+        np.testing.assert_allclose(d1, d2)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(SingularMatrixError):
+            blocked_ldlt(np.zeros((4, 4)))
+
+
+class TestBlockedCholesky:
+    @pytest.mark.parametrize("n,bs", [(1, 1), (64, 16), (150, 128)])
+    def test_real_spd(self, rng, n, bs):
+        a = rng.standard_normal((n, n))
+        a = a @ a.T + n * np.eye(n)
+        l = blocked_cholesky(a, block_size=bs)
+        np.testing.assert_allclose(l @ l.T, a, rtol=1e-8)
+
+    def test_solve(self, rng):
+        a = rng.standard_normal((100, 100))
+        a = a @ a.T + 100 * np.eye(100)
+        b = rng.standard_normal((100, 2))
+        l = blocked_cholesky(a, block_size=32)
+        x = cholesky_solve(l, b, block_size=32)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8)
+
+    def test_hermitian_positive_definite(self, rng):
+        n = 60
+        m = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        a = m @ m.conj().T + n * np.eye(n)
+        l = blocked_cholesky(a, block_size=24)
+        np.testing.assert_allclose(l @ l.conj().T, a, rtol=1e-8)
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        x = cholesky_solve(l, b, block_size=24)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-8)
+
+    def test_indefinite_raises(self, rng):
+        a = np.diag([1.0, -1.0, 1.0])
+        with pytest.raises(SingularMatrixError):
+            blocked_cholesky(a)

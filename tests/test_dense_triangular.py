@@ -1,0 +1,95 @@
+"""Tests for the blocked triangular solves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import solve_triangular
+
+from repro.dense.triangular import (
+    solve_lower_triangular,
+    solve_unit_lower_triangular,
+    solve_upper_triangular,
+)
+
+
+def _lower(rng, n, dtype=np.float64):
+    l = np.tril(rng.standard_normal((n, n))).astype(dtype)
+    np.fill_diagonal(l, 2.0 + np.abs(np.diag(l)))
+    return l
+
+
+class TestLowerSolve:
+    @pytest.mark.parametrize("n,bs", [(1, 1), (5, 2), (64, 64), (130, 32),
+                                      (200, 128)])
+    def test_matches_scipy(self, rng, n, bs):
+        l = _lower(rng, n)
+        b = rng.standard_normal((n, 3))
+        x = solve_lower_triangular(l, b, block_size=bs)
+        np.testing.assert_allclose(x, solve_triangular(l, b, lower=True),
+                                   rtol=1e-10)
+
+    def test_vector_rhs_stays_vector(self, rng):
+        l = _lower(rng, 20)
+        b = rng.standard_normal(20)
+        x = solve_lower_triangular(l, b, block_size=8)
+        assert x.shape == (20,)
+        np.testing.assert_allclose(l @ x, b, rtol=1e-10)
+
+    def test_complex(self, rng):
+        n = 40
+        l = _lower(rng, n).astype(complex)
+        l += 1j * np.tril(rng.standard_normal((n, n)), -1)
+        b = rng.standard_normal((n, 2)) + 1j * rng.standard_normal((n, 2))
+        x = solve_lower_triangular(l, b, block_size=16)
+        np.testing.assert_allclose(l @ x, b, rtol=1e-10)
+
+    def test_shape_mismatch_rejected(self, rng):
+        l = _lower(rng, 5)
+        with pytest.raises(ValueError):
+            solve_lower_triangular(l, np.zeros(6))
+
+
+class TestUnitLowerSolve:
+    def test_diagonal_is_ignored(self, rng):
+        n = 50
+        l = _lower(rng, n)
+        b = rng.standard_normal((n, 2))
+        x1 = solve_unit_lower_triangular(l, b, block_size=16)
+        l_scrambled = l.copy()
+        np.fill_diagonal(l_scrambled, 1e9)  # unit solves must not read it
+        x2 = solve_unit_lower_triangular(l_scrambled, b, block_size=16)
+        np.testing.assert_allclose(x1, x2)
+        lu = np.tril(l, -1) + np.eye(n)
+        np.testing.assert_allclose(lu @ x1, b, rtol=1e-10)
+
+
+class TestUpperSolve:
+    @pytest.mark.parametrize("n,bs", [(3, 2), (64, 16), (129, 64)])
+    def test_matches_scipy(self, rng, n, bs):
+        u = _lower(rng, n).T.copy()
+        b = rng.standard_normal((n, 4))
+        x = solve_upper_triangular(u, b, block_size=bs)
+        np.testing.assert_allclose(x, solve_triangular(u, b, lower=False),
+                                   rtol=1e-10)
+
+    def test_residual_small(self, rng):
+        u = _lower(rng, 77).T.copy()
+        b = rng.standard_normal(77)
+        x = solve_upper_triangular(u, b, block_size=25)
+        np.testing.assert_allclose(u @ x, b, rtol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 60),
+    bs=st.integers(1, 70),
+    seed=st.integers(0, 1000),
+)
+def test_property_lower_solve_inverts(n, bs, seed):
+    """For any size/block combination, L @ solve(L, b) == b."""
+    rng = np.random.default_rng(seed)
+    l = _lower(rng, n)
+    b = rng.standard_normal(n)
+    x = solve_lower_triangular(l, b, block_size=bs)
+    np.testing.assert_allclose(l @ x, b, rtol=1e-8, atol=1e-8)

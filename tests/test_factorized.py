@@ -1,0 +1,114 @@
+"""Tests for the reusable CoupledFactorization (factor once, solve many)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoupledFactorization, SolverConfig, solve_coupled
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module", params=["spido", "hmat", "spido_ooc"])
+def fact(request, pipe_medium):
+    f = CoupledFactorization(
+        pipe_medium, "multi_solve",
+        SolverConfig(dense_backend=request.param, n_c=96, n_s_block=256),
+    )
+    yield f
+    f.free()
+
+
+class TestSolve:
+    def test_matches_one_shot_solve(self, pipe_medium, fact):
+        x_v, x_s = fact.solve(pipe_medium.b_v, pipe_medium.b_s)
+        assert pipe_medium.relative_error(x_v, x_s) < 1e-3
+
+    def test_linearity_across_load_cases(self, pipe_medium, fact):
+        x_v, x_s = fact.solve(pipe_medium.b_v, pipe_medium.b_s)
+        y_v, y_s = fact.solve(-2 * pipe_medium.b_v, -2 * pipe_medium.b_s)
+        np.testing.assert_allclose(y_v, -2 * x_v, atol=1e-8)
+        np.testing.assert_allclose(y_s, -2 * x_s, atol=1e-8)
+
+    def test_block_of_load_cases(self, pipe_medium, fact):
+        b_v = np.stack([pipe_medium.b_v, 0.5 * pipe_medium.b_v], axis=1)
+        b_s = np.stack([pipe_medium.b_s, 0.5 * pipe_medium.b_s], axis=1)
+        x_v, x_s = fact.solve(b_v, b_s)
+        assert x_v.shape == (pipe_medium.n_fem, 2)
+        np.testing.assert_allclose(x_v[:, 1], 0.5 * x_v[:, 0], atol=1e-8)
+
+    def test_per_call_refinement(self, pipe_medium):
+        f = CoupledFactorization(
+            pipe_medium, "multi_solve",
+            SolverConfig(dense_backend="hmat", epsilon=1e-2),
+        )
+        plain_v, plain_s = f.solve(pipe_medium.b_v, pipe_medium.b_s)
+        refined_v, refined_s = f.solve(pipe_medium.b_v, pipe_medium.b_s,
+                                       refinement_steps=2)
+        assert pipe_medium.relative_error(refined_v, refined_s) < (
+            0.01 * pipe_medium.relative_error(plain_v, plain_s)
+        )
+        f.free()
+
+    def test_solve_counter(self, pipe_medium, fact):
+        before = fact.n_solves
+        fact.solve(pipe_medium.b_v, pipe_medium.b_s)
+        assert fact.n_solves == before + 1
+
+
+class TestAlgorithms:
+    @pytest.mark.parametrize("algorithm", [
+        "baseline", "advanced", "multi_solve", "multi_factorization",
+    ])
+    def test_every_algorithm_builds(self, pipe_small, algorithm):
+        with CoupledFactorization(pipe_small, algorithm,
+                                  SolverConfig(n_c=64, n_b=2)) as f:
+            x_v, x_s = f.solve(pipe_small.b_v, pipe_small.b_s)
+            assert pipe_small.relative_error(x_v, x_s) < 1e-3
+
+    def test_matches_solve_coupled(self, pipe_small):
+        config = SolverConfig(n_c=64)
+        one_shot = solve_coupled(pipe_small, "multi_solve", config)
+        with CoupledFactorization(pipe_small, "multi_solve", config) as f:
+            x_v, x_s = f.solve(pipe_small.b_v, pipe_small.b_s)
+        np.testing.assert_allclose(np.concatenate([x_v, x_s]), one_shot.x,
+                                   atol=1e-10)
+
+    def test_complex_case(self, aircraft_small):
+        with CoupledFactorization(
+            aircraft_small, "multi_factorization",
+            SolverConfig(n_b=2, epsilon=1e-4),
+        ) as f:
+            x_v, x_s = f.solve(aircraft_small.b_v, aircraft_small.b_s)
+            assert aircraft_small.relative_error(x_v, x_s) < 1e-4
+
+
+class TestLifecycleAndErrors:
+    def test_unknown_algorithm_rejected(self, pipe_small):
+        with pytest.raises(ConfigurationError):
+            CoupledFactorization(pipe_small, "cg")
+
+    def test_shape_mismatch_rejected(self, pipe_medium, fact):
+        with pytest.raises(ConfigurationError):
+            fact.solve(np.zeros(3), pipe_medium.b_s)
+        with pytest.raises(ConfigurationError):
+            fact.solve(pipe_medium.b_v, np.zeros(3))
+
+    def test_solve_after_free_raises(self, pipe_small):
+        f = CoupledFactorization(pipe_small, "multi_solve",
+                                 SolverConfig(n_c=64))
+        f.free()
+        with pytest.raises(RuntimeError):
+            f.solve(pipe_small.b_v, pipe_small.b_s)
+
+    def test_free_releases_tracked_memory(self, pipe_small):
+        f = CoupledFactorization(pipe_small, "multi_solve",
+                                 SolverConfig(n_c=64))
+        tracker = f._ctx.tracker
+        assert tracker.in_use > 0
+        f.free()
+        tracker.assert_all_freed()
+
+    def test_stats_snapshot(self, pipe_medium, fact):
+        s = fact.stats
+        assert s.n_total == pipe_medium.n_total
+        assert s.peak_bytes > 0
+        assert "sparse_factorization" in s.phases

@@ -1,0 +1,139 @@
+"""Tests for the FEM volume-block assembly."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fembem.fem import (
+    assemble_fem_matrix,
+    coefficient_field,
+    laplacian_3d,
+    q1_mass_3d,
+    q1_stiffness_3d,
+)
+from repro.fembem.mesh import StructuredGrid
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return StructuredGrid(6, 5, 4)
+
+
+class TestLaplacian:
+    def test_seven_point_row_structure(self, grid):
+        k = laplacian_3d(grid)
+        nnz_per_row = np.diff(k.indptr)
+        assert nnz_per_row.max() == 7
+        assert nnz_per_row.min() == 4  # corners
+
+    def test_symmetric(self, grid):
+        k = laplacian_3d(grid)
+        assert (k - k.T).nnz == 0
+
+    def test_positive_definite(self, grid):
+        """The Toeplitz stencil embeds Dirichlet walls: strictly PD."""
+        k = laplacian_3d(grid)
+        evs = np.linalg.eigvalsh(k.toarray())
+        assert evs.min() > 0
+
+
+class TestQ1:
+    def test_27_point_connectivity(self, grid):
+        # curiosity of the 3-D trilinear Laplacian: the six face-neighbour
+        # weights cancel exactly, leaving 21 structural nonzeros; the
+        # assembled operator (stiffness + mass) has the full 27
+        k = q1_stiffness_3d(grid)
+        assert np.diff(k.indptr).max() == 21
+        a = assemble_fem_matrix(grid, mode="real_spd", stencil="q1")
+        assert np.diff(a.indptr).max() == 27
+
+    def test_stiffness_symmetric_psd(self, grid):
+        k = q1_stiffness_3d(grid)
+        assert abs(k - k.T).max() < 1e-12
+        evs = np.linalg.eigvalsh(k.toarray())
+        assert evs.min() > -1e-10
+
+    def test_stiffness_kernel_is_constants(self, grid):
+        k = q1_stiffness_3d(grid)
+        ones = np.ones(grid.n_points)
+        np.testing.assert_allclose(k @ ones, 0.0, atol=1e-10)
+
+    def test_mass_rows_integrate_to_volume(self, grid):
+        m = q1_mass_3d(grid)
+        total = float(m.sum())
+        vol = np.prod(grid.extent())
+        assert total == pytest.approx(vol, rel=1e-10)
+
+    def test_mass_spd(self, grid):
+        m = q1_mass_3d(grid)
+        evs = np.linalg.eigvalsh(m.toarray())
+        assert evs.min() > 0
+
+    def test_q1_has_more_fill_than_7pt(self, grid):
+        assert q1_stiffness_3d(grid).nnz > 2 * laplacian_3d(grid).nnz
+
+
+class TestCoefficientField:
+    def test_positive_and_bounded(self, grid):
+        c = coefficient_field(grid, heterogeneity=0.8)
+        assert c.min() > 0
+        assert c.max() <= 1.8 + 1e-12
+
+    def test_zero_heterogeneity_is_uniform(self, grid):
+        c = coefficient_field(grid, heterogeneity=0.0)
+        np.testing.assert_allclose(c, 1.0)
+
+    def test_invalid_heterogeneity_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            coefficient_field(grid, heterogeneity=1.0)
+        with pytest.raises(ConfigurationError):
+            coefficient_field(grid, heterogeneity=-0.1)
+
+
+class TestAssembly:
+    def test_real_spd_is_spd(self, grid):
+        a = assemble_fem_matrix(grid, mode="real_spd")
+        assert a.dtype == np.float64
+        assert abs(a - a.T).max() < 1e-12
+        evs = np.linalg.eigvalsh(a.toarray())
+        assert evs.min() > 0
+
+    def test_7pt_stencil_option(self, grid):
+        a7 = assemble_fem_matrix(grid, mode="real_spd", stencil="7pt")
+        aq = assemble_fem_matrix(grid, mode="real_spd", stencil="q1")
+        assert aq.nnz > a7.nnz
+        evs = np.linalg.eigvalsh(a7.toarray())
+        assert evs.min() > 0
+
+    def test_complex_nonsym_is_complex_and_nonsymmetric(self, grid):
+        a = assemble_fem_matrix(grid, mode="complex_nonsym")
+        assert np.issubdtype(a.dtype, np.complexfloating)
+        assert abs(a - a.T).max() > 1e-8  # convection breaks value symmetry
+
+    def test_complex_nonsym_pattern_is_symmetric(self, grid):
+        a = assemble_fem_matrix(grid, mode="complex_nonsym")
+        p = (a != 0).astype(int)
+        assert (p - p.T).nnz == 0
+
+    def test_complex_without_convection_is_symmetric(self, grid):
+        a = assemble_fem_matrix(grid, mode="complex_nonsym", convection=0.0)
+        assert abs(a - a.T).max() < 1e-12
+
+    def test_damping_moves_spectrum_off_real_axis(self, grid):
+        a = assemble_fem_matrix(grid, mode="complex_nonsym", damping=0.7,
+                                convection=0.0)
+        evs = np.linalg.eigvals(a.toarray())
+        assert evs.imag.min() > 0  # uniformly damped
+
+    def test_unknown_mode_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            assemble_fem_matrix(grid, mode="bogus")
+
+    def test_unknown_stencil_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            assemble_fem_matrix(grid, stencil="5pt")
+
+    def test_sorted_indices(self, grid):
+        a = assemble_fem_matrix(grid)
+        assert a.has_sorted_indices

@@ -1,0 +1,139 @@
+"""Tests for the coupled-problem container and the two case generators."""
+
+import numpy as np
+import pytest
+
+from repro.fembem import generate_aircraft_case, generate_pipe_case
+from repro.fembem.cases import CoupledProblem, smooth_field
+from repro.fembem.pipe import pipe_grid_dims
+from repro.memory.model import PIPE_BEM_COEFF
+from repro.utils.errors import ConfigurationError
+
+
+class TestSmoothField:
+    def test_deterministic(self):
+        pts = np.random.default_rng(0).uniform(size=(50, 3))
+        a = smooth_field(pts, np.float64, seed=3)
+        b = smooth_field(pts, np.float64, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_complex_dtype_has_imaginary_part(self):
+        pts = np.random.default_rng(0).uniform(size=(50, 3))
+        f = smooth_field(pts, np.complex128, seed=1)
+        assert np.issubdtype(f.dtype, np.complexfloating)
+        assert np.abs(f.imag).max() > 0
+
+    def test_bounded_amplitude(self):
+        pts = np.random.default_rng(0).uniform(size=(200, 3))
+        f = smooth_field(pts, np.float64, seed=2)
+        assert np.abs(f).max() < 10.0
+
+
+class TestPipeGridDims:
+    def test_exact_total(self):
+        for n in (500, 4_000, 36_000):
+            dims, n_fem, n_bem = pipe_grid_dims(n)
+            assert n_fem + n_bem == n
+            assert dims[0] * dims[1] * dims[2] == n_fem
+
+    def test_bem_follows_paper_ratio(self):
+        for n in (4_000, 16_000, 36_000):
+            _, _, n_bem = pipe_grid_dims(n)
+            expected = PIPE_BEM_COEFF * n ** (2.0 / 3.0)
+            assert n_bem == pytest.approx(expected, rel=0.25)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pipe_grid_dims(50)
+
+
+class TestPipeCase:
+    def test_exact_residual_of_manufactured_solution(self, pipe_small):
+        assert pipe_small.residual_norm(
+            pipe_small.x_v_exact, pipe_small.x_s_exact
+        ) < 1e-12
+
+    def test_relative_error_of_exact_is_zero(self, pipe_small):
+        assert pipe_small.relative_error(
+            pipe_small.x_v_exact, pipe_small.x_s_exact
+        ) == 0.0
+
+    def test_real_symmetric(self, pipe_small):
+        assert pipe_small.symmetric
+        assert pipe_small.dtype == np.float64
+        a = pipe_small.a_vv
+        assert abs(a - a.T).max() < 1e-12
+
+    def test_total_count_exact(self):
+        p = generate_pipe_case(2_345)
+        assert p.n_total == 2_345
+
+    def test_deterministic_given_seed(self):
+        a = generate_pipe_case(1_200, seed=9)
+        b = generate_pipe_case(1_200, seed=9)
+        np.testing.assert_array_equal(a.b_v, b.b_v)
+        np.testing.assert_array_equal(a.coords_s, b.coords_s)
+
+    def test_coupling_is_thin(self, pipe_small):
+        nnz_per_row = np.diff(pipe_small.a_sv.indptr)
+        assert nnz_per_row.max() <= 8
+
+    def test_dims_property(self, pipe_small):
+        d = pipe_small.dims
+        assert d.n_total == pipe_small.n_total
+        assert d.n_bem == pipe_small.n_bem
+
+
+class TestAircraftCase:
+    def test_complex_nonsymmetric(self, aircraft_small):
+        assert not aircraft_small.symmetric
+        assert np.issubdtype(aircraft_small.dtype, np.complexfloating)
+        a = aircraft_small.a_vv
+        assert abs(a - a.T).max() > 1e-10
+
+    def test_exact_residual(self, aircraft_small):
+        assert aircraft_small.residual_norm(
+            aircraft_small.x_v_exact, aircraft_small.x_s_exact
+        ) < 1e-12
+
+    def test_bem_fraction_respected(self):
+        p = generate_aircraft_case(2_000, bem_fraction=0.2)
+        assert p.n_bem == pytest.approx(0.2 * 2_000, rel=0.25)
+        assert p.n_total == 2_000
+
+    def test_surface_has_detached_wing_sheet(self, aircraft_small):
+        """Some surface points sit clearly off the volume bounding box."""
+        coords_v = aircraft_small.coords_v
+        coords_s = aircraft_small.coords_s
+        vmax = coords_v.max(axis=0)
+        outside = (coords_s[:, 1] > vmax[1] + 1.0).sum()
+        assert outside > 0.1 * len(coords_s)
+
+    def test_wavenumber_scales_with_domain(self):
+        small = generate_aircraft_case(1_500, bem_fraction=0.2)
+        large = generate_aircraft_case(6_000, bem_fraction=0.2)
+        # fixed wavelengths across the object: kappa shrinks as it grows
+        assert large.a_ss_op.kernel is not small.a_ss_op.kernel
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_aircraft_case(2_000, bem_fraction=0.9)
+
+
+class TestCoupledProblemValidation:
+    def test_shape_mismatch_rejected(self, pipe_small):
+        import scipy.sparse as sp
+        with pytest.raises(ConfigurationError):
+            CoupledProblem(
+                name="bad",
+                a_vv=pipe_small.a_vv,
+                a_sv=sp.csr_matrix((3, 5)),
+                a_ss_op=pipe_small.a_ss_op,
+                coords_v=pipe_small.coords_v,
+                coords_s=pipe_small.coords_s,
+                b_v=pipe_small.b_v,
+                b_s=pipe_small.b_s,
+                x_v_exact=pipe_small.x_v_exact,
+                x_s_exact=pipe_small.x_s_exact,
+                symmetric=True,
+            )

@@ -1,0 +1,125 @@
+"""Tests for the hierarchical LDLᵀ factorization of symmetric HODLR."""
+
+import numpy as np
+import pytest
+
+from repro.fembem.bem import make_surface_operator
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix import (
+    HLDLTFactorization,
+    HLUFactorization,
+    build_cluster_tree,
+    build_hodlr,
+    hodlr_from_dense,
+)
+from repro.utils.errors import SingularMatrixError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = box_surface_points((8.0, 2.0, 2.0), 400, seed=13)
+    tree = build_cluster_tree(pts, leaf_size=48)
+    return pts, tree
+
+
+class TestSolve:
+    def test_real_symmetric_accuracy(self, setup, rng):
+        pts, tree = setup
+        op = make_surface_operator(pts, kind="laplace")
+        dense = op.to_dense()
+        f = HLDLTFactorization(build_hodlr(op, tree, tol=1e-9))
+        b = rng.standard_normal(len(pts))
+        x = f.solve(b)
+        assert np.linalg.norm(dense @ x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_complex_symmetric_accuracy(self, setup, rng):
+        """Complex *symmetric* (not Hermitian): plain transposes required."""
+        pts, tree = setup
+        op = make_surface_operator(pts, kind="helmholtz", wavenumber=0.7)
+        dense = op.to_dense()
+        assert not np.allclose(dense, dense.conj().T)
+        f = HLDLTFactorization(build_hodlr(op, tree, tol=1e-9))
+        b = rng.standard_normal(len(pts)) + 1j * rng.standard_normal(len(pts))
+        x = f.solve(b)
+        assert np.linalg.norm(dense @ x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_multiple_rhs(self, setup, rng):
+        pts, tree = setup
+        op = make_surface_operator(pts)
+        dense = op.to_dense()
+        f = HLDLTFactorization(build_hodlr(op, tree, tol=1e-9))
+        b = rng.standard_normal((len(pts), 4))
+        assert np.abs(dense @ f.solve(b) - b).max() < 1e-6
+
+    def test_matches_hlu(self, setup, rng):
+        pts, tree = setup
+        op = make_surface_operator(pts)
+        hm = build_hodlr(op, tree, tol=1e-10)
+        b = rng.standard_normal(len(pts))
+        x_lu = HLUFactorization(hm).solve(b)
+        x_ld = HLDLTFactorization(hm).solve(b)
+        np.testing.assert_allclose(x_lu, x_ld, rtol=1e-6, atol=1e-9)
+
+    def test_input_unchanged(self, setup):
+        pts, tree = setup
+        op = make_surface_operator(pts)
+        hm = build_hodlr(op, tree, tol=1e-8)
+        before = hm.to_dense()
+        HLDLTFactorization(hm)
+        np.testing.assert_array_equal(hm.to_dense(), before)
+
+    def test_singular_raises(self, setup):
+        _, tree = setup
+        hm = hodlr_from_dense(np.zeros((tree.n, tree.n)), tree, tol=1e-8)
+        with pytest.raises(SingularMatrixError):
+            HLDLTFactorization(hm)
+
+
+class TestStorage:
+    def test_half_the_bytes_of_hlu(self, setup):
+        """The paper's symmetric-mode saving: one coupling factor set and
+        packed leaf triangles instead of two panels and full LU leaves."""
+        pts, tree = setup
+        op = make_surface_operator(pts)
+        hm = build_hodlr(op, tree, tol=1e-8)
+        lu_bytes = HLUFactorization(hm).nbytes()
+        ldlt_bytes = HLDLTFactorization(hm).nbytes()
+        assert ldlt_bytes < 0.65 * lu_bytes
+
+    def test_d_entries_nonzero(self, setup):
+        pts, tree = setup
+        op = make_surface_operator(pts)
+        f = HLDLTFactorization(build_hodlr(op, tree, tol=1e-8))
+        assert np.abs(f.d).min() > 0
+
+
+class TestContainerIntegration:
+    def test_symmetric_problem_uses_ldlt(self, pipe_small):
+        from repro.core.config import SolverConfig
+        from repro.core.schur_tools import HodlrSchurContainer
+        from repro.hmatrix.ldlt_factorization import HLDLTFactorization
+        from repro.memory import MemoryTracker
+
+        t = MemoryTracker()
+        c = HodlrSchurContainer(pipe_small,
+                                SolverConfig(dense_backend="hmat"), t)
+        c.factorize(t)
+        assert isinstance(c._fact, HLDLTFactorization)
+        c.free()
+        t.assert_all_freed()
+
+    def test_nonsymmetric_problem_uses_lu(self, aircraft_small):
+        from repro.core.config import SolverConfig
+        from repro.core.schur_tools import HodlrSchurContainer
+        from repro.hmatrix import HLUFactorization
+        from repro.memory import MemoryTracker
+
+        t = MemoryTracker()
+        c = HodlrSchurContainer(
+            aircraft_small,
+            SolverConfig(dense_backend="hmat", epsilon=1e-4), t,
+        )
+        c.factorize(t)
+        assert isinstance(c._fact, HLUFactorization)
+        c.free()
+        t.assert_all_freed()

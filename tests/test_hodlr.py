@@ -1,0 +1,197 @@
+"""Tests for the HODLR hierarchical matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.fembem.bem import make_surface_operator
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix.cluster import build_cluster_tree
+from repro.hmatrix.hmatrix import (
+    HMatrix,
+    build_hodlr,
+    hodlr_from_dense,
+    hodlr_zeros,
+)
+from repro.hmatrix.rk import RkMatrix
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = box_surface_points((8.0, 2.0, 2.0), 350, seed=4)
+    tree = build_cluster_tree(pts, leaf_size=40)
+    op = make_surface_operator(pts, kind="laplace")
+    dense = op.to_dense()
+    return pts, tree, op, dense
+
+
+class TestAssembly:
+    def test_kernel_assembly_accuracy(self, setup):
+        _, tree, op, dense = setup
+        hm = build_hodlr(op, tree, tol=1e-7)
+        err = np.abs(hm.to_dense() - dense).max()
+        assert err < 1e-5 * np.abs(dense).max()
+
+    def test_kernel_assembly_compresses(self, setup):
+        _, tree, op, dense = setup
+        hm = build_hodlr(op, tree, tol=1e-4)
+        assert hm.nbytes() < dense.nbytes
+        assert hm.compression_ratio() < 1.0
+
+    def test_from_dense_accuracy(self, setup):
+        _, tree, _, dense = setup
+        hm = hodlr_from_dense(dense, tree, tol=1e-8)
+        assert np.abs(hm.to_dense() - dense).max() < 1e-6
+
+    def test_from_dense_aca_compressor(self, setup):
+        _, tree, _, dense = setup
+        hm = hodlr_from_dense(dense, tree, tol=1e-8, compressor="aca")
+        assert np.abs(hm.to_dense() - dense).max() < 1e-5
+
+    def test_zeros(self, setup):
+        _, tree, _, _ = setup
+        hz = hodlr_zeros(tree, 1e-6, np.float64)
+        assert np.abs(hz.to_dense()).max() == 0.0
+        assert hz.max_rank() == 0
+
+    def test_shape_mismatch_rejected(self, setup):
+        _, tree, op, dense = setup
+        with pytest.raises(ConfigurationError):
+            hodlr_from_dense(dense[:-1, :-1], tree, tol=1e-6)
+
+    def test_tighter_tolerance_costs_more_memory(self, setup):
+        _, tree, op, _ = setup
+        loose = build_hodlr(op, tree, tol=1e-2)
+        tight = build_hodlr(op, tree, tol=1e-8)
+        assert loose.nbytes() < tight.nbytes()
+
+
+class TestMatvec:
+    def test_matches_dense(self, setup, rng):
+        _, tree, op, dense = setup
+        hm = build_hodlr(op, tree, tol=1e-9)
+        x = rng.standard_normal(dense.shape[0])
+        np.testing.assert_allclose(hm.matvec(x), dense @ x, rtol=1e-6,
+                                   atol=1e-8)
+
+    def test_block_rhs(self, setup, rng):
+        _, tree, op, dense = setup
+        hm = build_hodlr(op, tree, tol=1e-9)
+        x = rng.standard_normal((dense.shape[0], 4))
+        np.testing.assert_allclose(hm.matvec(x), dense @ x, rtol=1e-6,
+                                   atol=1e-8)
+
+    def test_dimension_mismatch_rejected(self, setup):
+        _, tree, op, _ = setup
+        hm = build_hodlr(op, tree, tol=1e-4)
+        with pytest.raises(ConfigurationError):
+            hm.matvec(np.zeros(3))
+
+
+class TestCompressedAxpy:
+    def test_full_block_update(self, setup, rng):
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        hm = hodlr_from_dense(dense, tree, tol=1e-9)
+        upd = rng.standard_normal((n, n))
+        hm.axpy_dense(-0.5, upd, np.arange(n), np.arange(n))
+        np.testing.assert_allclose(hm.to_dense(), dense - 0.5 * upd,
+                                   atol=1e-5 * np.abs(dense).max())
+
+    def test_scattered_column_block(self, setup, rng):
+        """Original-index column blocks scatter across the cluster order."""
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        cols = np.arange(37, 161)  # contiguous original columns
+        upd = rng.standard_normal((n, len(cols)))
+        hm = hodlr_from_dense(dense, tree, tol=1e-10)
+        hm.axpy_dense(-1.0, upd, np.arange(n), cols)
+        ref = dense.copy()
+        ref[:, cols] -= upd
+        np.testing.assert_allclose(hm.to_dense(), ref, atol=1e-5)
+
+    def test_arbitrary_index_subsets(self, setup, rng):
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        rows = rng.choice(n, size=60, replace=False)
+        cols = rng.choice(n, size=45, replace=False)
+        upd = rng.standard_normal((60, 45))
+        hm = hodlr_from_dense(dense, tree, tol=1e-10)
+        hm.axpy_dense(2.0, upd, rows, cols)
+        ref = dense.copy()
+        ref[np.ix_(rows, cols)] += 2.0 * upd
+        np.testing.assert_allclose(hm.to_dense(), ref, atol=1e-5)
+
+    def test_square_subblock_update(self, setup, rng):
+        """Multi-factorization style S_ij block."""
+        _, tree, _, dense = setup
+        rows = np.arange(100, 200)
+        cols = np.arange(250, 350)
+        upd = rng.standard_normal((100, 100))
+        hm = hodlr_from_dense(dense, tree, tol=1e-10)
+        hm.axpy_dense(1.0, upd, rows, cols)
+        ref = dense.copy()
+        ref[np.ix_(rows, cols)] += upd
+        np.testing.assert_allclose(hm.to_dense(), ref, atol=1e-5)
+
+    def test_aca_compressor_path(self, setup, rng):
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        upd = rng.standard_normal((n, 64))
+        hm = hodlr_from_dense(dense, tree, tol=1e-9)
+        hm.axpy_dense(-1.0, upd, np.arange(n), np.arange(64),
+                      compressor="aca")
+        ref = dense.copy()
+        ref[:, :64] -= upd
+        np.testing.assert_allclose(hm.to_dense(), ref, atol=1e-4)
+
+    def test_shape_mismatch_rejected(self, setup):
+        _, tree, _, dense = setup
+        hm = hodlr_from_dense(dense, tree, tol=1e-6)
+        with pytest.raises(ConfigurationError):
+            hm.axpy_dense(1.0, np.zeros((3, 3)), np.arange(4), np.arange(3))
+
+    def test_repeated_axpys_accumulate(self, setup, rng):
+        """The multi-solve loop: many successive column-block subtractions."""
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        hm = hodlr_from_dense(dense, tree, tol=1e-10)
+        ref = dense.copy()
+        for lo in range(0, n, 80):
+            hi = min(n, lo + 80)
+            upd = rng.standard_normal((n, hi - lo))
+            hm.axpy_dense(-1.0, upd, np.arange(n), np.arange(lo, hi))
+            ref[:, lo:hi] -= upd
+        np.testing.assert_allclose(hm.to_dense(), ref, atol=2e-4)
+
+
+class TestAddRkAndCopy:
+    def test_add_rk_global(self, setup, rng):
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        hm = hodlr_from_dense(dense, tree, tol=1e-10)
+        u = rng.standard_normal((n, 3))
+        v = rng.standard_normal((n, 3))
+        # add_rk operates in permuted coordinates
+        perm = tree.perm
+        hm.add_rk(RkMatrix(u, v))
+        ref = dense.copy()
+        ref[np.ix_(perm, perm)] += u @ v.T
+        np.testing.assert_allclose(hm.to_dense(), ref, atol=1e-5)
+
+    def test_copy_is_independent(self, setup, rng):
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        hm = hodlr_from_dense(dense, tree, tol=1e-10)
+        cp = hm.copy()
+        hm.axpy_dense(1.0, np.ones((n, n)), np.arange(n), np.arange(n))
+        np.testing.assert_allclose(cp.to_dense(), dense, atol=1e-5)
+
+    def test_nbytes_grows_after_update(self, setup, rng):
+        _, tree, _, dense = setup
+        n = dense.shape[0]
+        hm = hodlr_from_dense(dense, tree, tol=1e-6)
+        before = hm.nbytes()
+        hm.axpy_dense(1.0, rng.standard_normal((n, n)),
+                      np.arange(n), np.arange(n))
+        assert hm.nbytes() > before  # random update is incompressible

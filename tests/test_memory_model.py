@@ -1,0 +1,152 @@
+"""Tests for the analytic paper-scale memory model."""
+
+import pytest
+
+from repro.memory.model import (
+    ALGORITHMS,
+    PIPE_BEM_COEFF,
+    CouplingMemoryModel,
+    ProblemDims,
+    paper_pipe_dims,
+    predict_max_unknowns,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestProblemDims:
+    def test_counts_must_add_up(self):
+        ProblemDims(100, 90, 10)
+        with pytest.raises(ConfigurationError):
+            ProblemDims(100, 80, 10)
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ConfigurationError):
+            ProblemDims(100, 100, 0)
+
+    def test_paper_pipe_dims_matches_table1(self):
+        """The N^(2/3) split reproduces the paper's Table I within 1%."""
+        for n, bem in [(1_000_000, 37_169), (2_000_000, 58_910),
+                       (4_000_000, 93_593), (9_000_000, 160_234)]:
+            dims = paper_pipe_dims(n)
+            assert dims.n_bem == pytest.approx(bem, rel=0.01)
+            assert dims.n_fem + dims.n_bem == n
+
+    def test_coefficient_is_calibrated_to_paper(self):
+        assert PIPE_BEM_COEFF == pytest.approx(3.71, abs=0.02)
+
+
+class TestModelComponents:
+    def setup_method(self):
+        self.model = CouplingMemoryModel()
+        self.dims = paper_pipe_dims(2_000_000)
+
+    def test_dense_bytes(self):
+        assert self.model.dense_bytes(1000) == 8_000_000
+        assert self.model.dense_bytes(10, 20) == 1600
+
+    def test_factor_scales_superlinearly(self):
+        f1 = self.model.sparse_factor_bytes(100_000)
+        f2 = self.model.sparse_factor_bytes(200_000)
+        assert f2 > 2 * f1
+
+    def test_compression_reduces_factor(self):
+        dense = self.model.sparse_factor_bytes(1_000_000, compressed=False)
+        blr = self.model.sparse_factor_bytes(1_000_000, compressed=True)
+        assert blr < dense
+
+    def test_hodlr_much_smaller_than_dense(self):
+        n = 100_000
+        assert self.model.hodlr_bytes(n) < 0.05 * self.model.dense_bytes(n)
+
+    def test_hodlr_small_block_is_dense(self):
+        leaf = self.model.hodlr_leaf
+        assert self.model.hodlr_bytes(leaf) == self.model.dense_bytes(leaf)
+
+    def test_all_algorithms_have_components(self):
+        for algo in ALGORITHMS:
+            comps = self.model.peak_components(algo, self.dims)
+            assert comps, algo
+            assert all(v >= 0 for v in comps.values())
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.model.peak_components("nope", self.dims)
+
+    def test_baseline_has_the_big_solve_panel(self):
+        comps = self.model.peak_components("baseline", self.dims)
+        assert comps["solve_panel_Y"] == self.model.dense_bytes(
+            self.dims.n_fem, self.dims.n_bem
+        )
+
+    def test_compressed_multi_solve_beats_dense_variants(self):
+        """Peak ordering at paper scale matches Fig. 10's capacity order."""
+        peaks = {
+            algo: self.model.peak_bytes(algo, self.dims)
+            for algo in ALGORITHMS
+        }
+        assert peaks["multi_solve_compressed"] < peaks["multi_solve"]
+        assert peaks["multi_solve"] < peaks["baseline"]
+        assert (
+            peaks["multi_solve_compressed"]
+            < peaks["multi_factorization_compressed"]
+        )
+
+    def test_more_blocks_reduce_multifact_peak(self):
+        p1 = self.model.peak_bytes("multi_factorization", self.dims, n_b=1)
+        p8 = self.model.peak_bytes("multi_factorization", self.dims, n_b=8)
+        assert p8 < p1
+
+
+class TestPrediction:
+    def test_predict_monotone_in_limit(self):
+        model = CouplingMemoryModel()
+        small = predict_max_unknowns(model, "multi_solve", 16 * 1024**3)
+        big = predict_max_unknowns(model, "multi_solve", 128 * 1024**3)
+        assert big > small
+
+    def test_predicted_peak_fits_limit(self):
+        model = CouplingMemoryModel()
+        limit = 128 * 1024**3
+        n = predict_max_unknowns(model, "advanced", limit)
+        assert model.peak_bytes("advanced", paper_pipe_dims(n)) <= limit
+
+    def test_capacity_ordering_at_128gib(self):
+        """The model reproduces the paper's capacity ordering on 128 GiB."""
+        model = CouplingMemoryModel()
+        limit = 128 * 1024**3
+        caps = {
+            algo: predict_max_unknowns(model, algo, limit)
+            for algo in ALGORITHMS
+        }
+        assert caps["multi_solve_compressed"] > caps["multi_solve"]
+        assert caps["multi_solve"] > caps["advanced"]
+        assert caps["multi_solve_compressed"] > caps[
+            "multi_factorization_compressed"
+        ]
+
+    def test_zero_when_nothing_fits(self):
+        model = CouplingMemoryModel()
+        assert predict_max_unknowns(model, "baseline", 1024) == 0
+
+
+class TestCalibration:
+    def test_calibrated_factor_coefficient(self):
+        model = CouplingMemoryModel(sparse_compression=False)
+        n = 50_000
+        measured = 12.0 * n ** (4.0 / 3.0) * model.itemsize
+        fitted = model.calibrated(factor_samples=[(n, measured)])
+        assert fitted.sparse_factor_coeff == pytest.approx(12.0)
+
+    def test_calibrated_hodlr_rank(self):
+        model = CouplingMemoryModel()
+        n = 4096
+        target_rank = 24.0
+        bytes_ = model.hodlr_bytes(n) + 0  # start from the model itself
+        fitted = CouplingMemoryModel(hodlr_rank=target_rank)
+        measured = fitted.hodlr_bytes(n)
+        recovered = model.calibrated(hodlr_samples=[(n, measured)])
+        assert recovered.hodlr_rank == pytest.approx(target_rank, rel=0.01)
+
+    def test_calibration_without_samples_is_identity(self):
+        model = CouplingMemoryModel()
+        assert model.calibrated() == model

@@ -1,0 +1,216 @@
+"""Unit and property tests for the logical memory tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import Allocation, MemoryTracker, fmt_bytes
+from repro.utils.errors import MemoryLimitExceeded
+
+
+class TestBasicAccounting:
+    def test_allocate_and_free(self):
+        t = MemoryTracker()
+        a = t.allocate(1000)
+        assert t.in_use == 1000
+        a.free()
+        assert t.in_use == 0
+        assert t.peak == 1000
+
+    def test_peak_tracks_high_water_mark(self):
+        t = MemoryTracker()
+        a = t.allocate(100)
+        b = t.allocate(300)
+        a.free()
+        c = t.allocate(50)
+        assert t.peak == 400
+        assert t.in_use == 350
+        b.free()
+        c.free()
+
+    def test_double_free_is_noop(self):
+        t = MemoryTracker()
+        a = t.allocate(10)
+        a.free()
+        a.free()
+        assert t.in_use == 0
+
+    def test_track_array_uses_nbytes(self):
+        t = MemoryTracker()
+        arr = np.zeros((10, 10))
+        a = t.track_array(arr)
+        assert a.nbytes == arr.nbytes == 800
+        a.free()
+
+    def test_n_allocations_counter(self):
+        t = MemoryTracker()
+        for _ in range(5):
+            t.allocate(1).free()
+        assert t.n_allocations == 5
+
+    def test_zero_byte_allocation_allowed(self):
+        t = MemoryTracker()
+        a = t.allocate(0)
+        assert t.in_use == 0
+        a.free()
+
+    def test_negative_allocation_rejected(self):
+        t = MemoryTracker()
+        with pytest.raises(ValueError):
+            t.allocate(-1)
+
+
+class TestCategories:
+    def test_category_breakdown(self):
+        t = MemoryTracker()
+        a = t.allocate(100, category="factors")
+        b = t.allocate(50, category="workspace")
+        assert t.category_in_use("factors") == 100
+        assert t.category_in_use("workspace") == 50
+        assert t.categories == {"factors": 100, "workspace": 50}
+        a.free()
+        assert t.category_in_use("factors") == 0
+        assert t.category_peak("factors") == 100
+        b.free()
+
+    def test_peak_categories_are_per_category(self):
+        t = MemoryTracker()
+        a = t.allocate(100, category="x")
+        a.free()
+        b = t.allocate(60, category="y")
+        # per-category peaks are independent of global interleaving
+        assert t.category_peak("x") == 100
+        assert t.category_peak("y") == 60
+        b.free()
+
+
+class TestLimit:
+    def test_limit_enforced(self):
+        t = MemoryTracker(limit_bytes=100)
+        a = t.allocate(80)
+        with pytest.raises(MemoryLimitExceeded) as exc:
+            t.allocate(30, label="too big")
+        assert exc.value.requested == 30
+        assert exc.value.in_use == 80
+        assert exc.value.limit == 100
+        assert "too big" in str(exc.value)
+        a.free()
+
+    def test_failed_allocation_does_not_leak(self):
+        t = MemoryTracker(limit_bytes=100)
+        t.allocate(80)
+        with pytest.raises(MemoryLimitExceeded):
+            t.allocate(30)
+        assert t.in_use == 80
+
+    def test_exact_fit_allowed(self):
+        t = MemoryTracker(limit_bytes=100)
+        a = t.allocate(100)
+        a.free()
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker(limit_bytes=0)
+
+
+class TestResizeAndBorrow:
+    def test_resize_up_and_down(self):
+        t = MemoryTracker()
+        a = t.allocate(100, category="s")
+        a.resize(250)
+        assert t.in_use == 250
+        a.resize(50)
+        assert t.in_use == 50
+        assert t.peak == 250
+        a.free()
+        assert t.in_use == 0
+
+    def test_resize_respects_limit(self):
+        t = MemoryTracker(limit_bytes=200)
+        a = t.allocate(100)
+        with pytest.raises(MemoryLimitExceeded):
+            a.resize(300)
+        a.free()
+
+    def test_resize_freed_allocation_raises(self):
+        t = MemoryTracker()
+        a = t.allocate(10)
+        a.free()
+        with pytest.raises(RuntimeError):
+            a.resize(20)
+
+    def test_borrow_frees_on_exit(self):
+        t = MemoryTracker()
+        with t.borrow(500):
+            assert t.in_use == 500
+        assert t.in_use == 0
+
+    def test_borrow_frees_on_exception(self):
+        t = MemoryTracker()
+        with pytest.raises(RuntimeError):
+            with t.borrow(500):
+                raise RuntimeError("boom")
+        assert t.in_use == 0
+
+
+class TestReporting:
+    def test_assert_all_freed_raises_on_leak(self):
+        t = MemoryTracker(name="leaky")
+        t.allocate(10, category="oops")
+        with pytest.raises(AssertionError, match="oops"):
+            t.assert_all_freed()
+
+    def test_report_mentions_categories(self):
+        t = MemoryTracker(name="r")
+        a = t.allocate(2048, category="factors")
+        text = t.report()
+        assert "factors" in text
+        assert "2.00 KiB" in text
+        a.free()
+
+    def test_reset_peak(self):
+        t = MemoryTracker()
+        a = t.allocate(100)
+        a.free()
+        t.reset_peak()
+        assert t.peak == 0
+
+
+class TestFmtBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2.00 KiB"),
+            (5 * 1024**2, "5.00 MiB"),
+            (3 * 1024**3, "3.00 GiB"),
+            (2 * 1024**4, "2.00 TiB"),
+        ],
+    )
+    def test_formatting(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10_000), st.booleans()), min_size=1,
+        max_size=40,
+    )
+)
+def test_property_in_use_equals_sum_of_live(ops):
+    """Random alloc/free interleavings keep in_use == sum of live sizes."""
+    t = MemoryTracker()
+    live = []
+    for size, do_free in ops:
+        live.append(t.allocate(size))
+        if do_free and live:
+            idx = size % len(live)
+            live[idx].free()
+            live = [a for a in live if a.live]
+    assert t.in_use == sum(a.nbytes for a in live)
+    for a in live:
+        a.free()
+    t.assert_all_freed()

@@ -1,0 +1,113 @@
+"""Tests for structured grids and boundary point sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fembem.mesh import (
+    StructuredGrid,
+    box_surface_points,
+    nearly_square_box_dims,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestStructuredGrid:
+    def test_point_count_and_shape(self):
+        g = StructuredGrid(4, 3, 2)
+        assert g.n_points == 24
+        assert g.points().shape == (24, 3)
+
+    def test_linear_index_matches_points_order(self):
+        g = StructuredGrid(3, 4, 5, spacing=0.5, origin=(1.0, 2.0, 3.0))
+        pts = g.points()
+        idx = g.linear_index(2, 1, 3)
+        np.testing.assert_allclose(
+            pts[idx], [1.0 + 2 * 0.5, 2.0 + 1 * 0.5, 3.0 + 3 * 0.5]
+        )
+
+    def test_boundary_mask_counts_shell(self):
+        g = StructuredGrid(4, 4, 4)
+        mask = g.boundary_mask()
+        assert mask.sum() == 4**3 - 2**3  # outer shell of a 4x4x4 grid
+
+    def test_boundary_mask_all_for_thin_grid(self):
+        g = StructuredGrid(1, 5, 5)
+        assert g.boundary_mask().all()
+
+    def test_extent(self):
+        g = StructuredGrid(5, 3, 2, spacing=2.0)
+        np.testing.assert_allclose(g.extent(), [8.0, 4.0, 2.0])
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StructuredGrid(0, 2, 2)
+        with pytest.raises(ConfigurationError):
+            StructuredGrid(2, 2, 2, spacing=0.0)
+
+
+class TestBoxSurfacePoints:
+    def test_exact_count(self):
+        for n in [6, 17, 100, 999]:
+            pts = box_surface_points((4.0, 2.0, 1.0), n, seed=1)
+            assert pts.shape == (n, 3)
+
+    def test_points_lie_on_faces(self):
+        ext = (4.0, 2.0, 1.0)
+        pts = box_surface_points(ext, 300, offset=0.0, seed=2)
+        on_face = np.zeros(len(pts), dtype=bool)
+        for axis, length in enumerate(ext):
+            on_face |= np.isclose(pts[:, axis], 0.0)
+            on_face |= np.isclose(pts[:, axis], length)
+        assert on_face.all()
+
+    def test_offset_pushes_points_outward(self):
+        ext = (2.0, 2.0, 2.0)
+        pts = box_surface_points(ext, 200, offset=0.3, seed=3)
+        outside = (
+            (pts < -1e-9).any(axis=1) | (pts > np.array(ext) + 1e-9).any(axis=1)
+        )
+        assert outside.all()
+
+    def test_deterministic_for_same_seed(self):
+        a = box_surface_points((3.0, 1.0, 1.0), 123, seed=9)
+        b = box_surface_points((3.0, 1.0, 1.0), 123, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = box_surface_points((3.0, 1.0, 1.0), 123, seed=9)
+        b = box_surface_points((3.0, 1.0, 1.0), 123, seed=10)
+        assert not np.array_equal(a, b)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            box_surface_points((1.0, 1.0, 1.0), 5)
+
+    def test_origin_shift(self):
+        a = box_surface_points((1.0, 1.0, 1.0), 50, seed=0)
+        b = box_surface_points((1.0, 1.0, 1.0), 50, seed=0,
+                               origin=(10.0, 0.0, 0.0))
+        np.testing.assert_allclose(b[:, 0] - a[:, 0], 10.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(6, 500), seed=st.integers(0, 100))
+    def test_property_count_always_exact(self, n, seed):
+        pts = box_surface_points((5.0, 2.0, 1.0), n, seed=seed)
+        assert len(pts) == n
+
+
+class TestNearlySquareBoxDims:
+    def test_product_close_to_target(self):
+        for target in [100, 1000, 8000, 50_000]:
+            nx, ny, nz = nearly_square_box_dims(target, aspect=4.0)
+            assert ny == nz
+            assert 0.7 * target <= nx * ny * nz <= 1.3 * target
+
+    def test_aspect_respected_roughly(self):
+        nx, ny, nz = nearly_square_box_dims(32_000, aspect=4.0)
+        assert nx > 2 * ny
+
+    def test_small_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nearly_square_box_dims(4)

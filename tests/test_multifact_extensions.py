@@ -1,0 +1,71 @@
+"""Tests for the beyond-the-paper multi-factorization extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+
+
+class TestDiagonalSymmetryFlag:
+    def test_same_solution(self, pipe_medium):
+        faithful = solve_coupled(pipe_medium, "multi_factorization",
+                                 SolverConfig(n_b=2))
+        exploit = solve_coupled(
+            pipe_medium, "multi_factorization",
+            SolverConfig(n_b=2, mf_exploit_diagonal_symmetry=True),
+        )
+        np.testing.assert_allclose(faithful.x, exploit.x, atol=1e-8)
+
+    def test_not_applied_to_nonsymmetric_problem(self, aircraft_small):
+        # the flag must silently stay off for non-symmetric systems
+        sol = solve_coupled(
+            aircraft_small, "multi_factorization",
+            SolverConfig(n_b=2, epsilon=1e-4,
+                         mf_exploit_diagonal_symmetry=True),
+        )
+        assert sol.relative_error < 1e-4
+
+    def test_diagonal_symmetry_saves_factor_storage(self, pipe_medium):
+        """On the i == j blocks the symmetric mode stores one panel set."""
+        faithful = solve_coupled(pipe_medium, "multi_factorization",
+                                 SolverConfig(n_b=1))
+        exploit = solve_coupled(
+            pipe_medium, "multi_factorization",
+            SolverConfig(n_b=1, mf_exploit_diagonal_symmetry=True),
+        )
+        # n_b = 1: the single block is diagonal, so the whole factorization
+        # switches to LDLᵀ — roughly half the stored panel bytes
+        assert exploit.stats.sparse_factor_bytes < (
+            0.7 * faithful.stats.sparse_factor_bytes
+        )
+
+
+class TestOutOfCoreModel:
+    def test_ooc_moves_schur_to_disk(self):
+        from repro.memory.model import CouplingMemoryModel, paper_pipe_dims
+        model = CouplingMemoryModel()
+        dims = paper_pipe_dims(2_000_000)
+        ic = model.peak_components("multi_solve", dims)
+        ooc = model.peak_components("multi_solve", dims, out_of_core=True)
+        assert "schur_dense" in ic and "schur_dense" not in ooc
+        assert ooc["disk:schur_dense"] == ic["schur_dense"]
+
+    def test_ooc_resident_peak_smaller(self):
+        from repro.memory.model import CouplingMemoryModel, paper_pipe_dims
+        model = CouplingMemoryModel()
+        dims = paper_pipe_dims(2_000_000)
+        assert model.peak_bytes("multi_solve", dims, out_of_core=True) < (
+            model.peak_bytes("multi_solve", dims)
+        )
+
+    def test_ooc_extends_capacity(self):
+        from repro.memory.model import (
+            CouplingMemoryModel,
+            predict_max_unknowns,
+        )
+        model = CouplingMemoryModel()
+        limit = 128 * 1024**3
+        ic = predict_max_unknowns(model, "multi_solve", limit)
+        ooc = predict_max_unknowns(model, "multi_solve", limit,
+                                   out_of_core=True)
+        assert ooc > 2 * ic

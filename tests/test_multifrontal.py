@@ -1,0 +1,314 @@
+"""Tests for the numeric multifrontal factorization, Schur API and solves."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.fembem.fem import assemble_fem_matrix
+from repro.fembem.mesh import StructuredGrid
+from repro.memory import MemoryTracker
+from repro.sparse import BLRConfig, SparseSolver
+from repro.utils.errors import ConfigurationError, SingularMatrixError
+
+
+@pytest.fixture(scope="module")
+def spd_problem():
+    grid = StructuredGrid(9, 7, 6)
+    a = assemble_fem_matrix(grid, mode="real_spd")
+    return grid, a.tocsr()
+
+
+@pytest.fixture(scope="module")
+def unsym_problem():
+    grid = StructuredGrid(8, 6, 5)
+    a = assemble_fem_matrix(grid, mode="complex_nonsym")
+    return grid, a.tocsr()
+
+
+class TestFactorizeSolve:
+    def test_ldlt_solve_matches_scipy(self, spd_problem, rng):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        b = rng.standard_normal(a.shape[0])
+        x = f.solve(b)
+        np.testing.assert_allclose(x, spla.spsolve(a.tocsc(), b), rtol=1e-8)
+        f.free()
+
+    def test_lu_solve_complex_nonsymmetric(self, unsym_problem, rng):
+        grid, a = unsym_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=False)
+        b = rng.standard_normal(a.shape[0]) + 1j * rng.standard_normal(a.shape[0])
+        x = f.solve(b)
+        res = np.linalg.norm(a @ x - b) / np.linalg.norm(b)
+        assert res < 1e-10
+        f.free()
+
+    def test_multiple_rhs(self, spd_problem, rng):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        b = rng.standard_normal((a.shape[0], 7))
+        x = f.solve(b)
+        assert np.abs(a @ x - b).max() < 1e-9
+        f.free()
+
+    def test_sparse_rhs_exploitation_matches_dense_path(self, spd_problem):
+        grid, a = spd_problem
+        n = a.shape[0]
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        rhs = sp.random(n, 3, density=0.003, format="csr", random_state=5)
+        x_sparse = f.solve(rhs, exploit_sparsity=True)
+        x_dense = f.solve(np.asarray(rhs.todense()), exploit_sparsity=False)
+        np.testing.assert_allclose(x_sparse, x_dense, atol=1e-12)
+        f.free()
+
+    def test_zero_rhs_gives_zero(self, spd_problem):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        x = f.solve(np.zeros(a.shape[0]))
+        np.testing.assert_array_equal(x, 0.0)
+        f.free()
+
+    def test_graph_ordering_backend(self, spd_problem, rng):
+        _, a = spd_problem
+        f = SparseSolver(ordering="graph").factorize(a, symmetric_values=True)
+        b = rng.standard_normal(a.shape[0])
+        np.testing.assert_allclose(f.solve(b), spla.spsolve(a.tocsc(), b),
+                                   rtol=1e-8)
+        f.free()
+
+    def test_geometric_without_coords_rejected(self, spd_problem):
+        _, a = spd_problem
+        with pytest.raises(ConfigurationError):
+            SparseSolver(ordering="geometric").factorize(a)
+
+    def test_rhs_size_mismatch_rejected(self, spd_problem):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        with pytest.raises(ConfigurationError):
+            f.solve(np.zeros(a.shape[0] + 1))
+        f.free()
+
+    def test_solve_after_free_raises(self, spd_problem):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        f.free()
+        with pytest.raises(RuntimeError):
+            f.solve(np.zeros(a.shape[0]))
+
+    def test_singular_matrix_raises(self):
+        grid = StructuredGrid(4, 4, 4)
+        n = grid.n_points
+        a = sp.csr_matrix((n, n))
+        a.setdiag(0.0)
+        with pytest.raises(SingularMatrixError):
+            SparseSolver().factorize(a + sp.csr_matrix(
+                (np.zeros(1), ([0], [1])), shape=(n, n)),
+                coords=grid.points(), symmetric_values=True)
+
+
+class TestSchurAPI:
+    def _schur_setup(self, grid, a, k, seed, unsym=False):
+        n = a.shape[0]
+        rng = np.random.default_rng(seed)
+        c = sp.random(k, n, density=0.02, format="csr", random_state=seed,
+                      dtype=np.float64)
+        b = (sp.random(k, n, density=0.02, format="csr",
+                       random_state=seed + 1).T
+             if unsym else c.T)
+        w = sp.bmat([[a, b], [c, None]], format="csr")
+        return w, b, c
+
+    def test_symmetric_schur_matches_direct_computation(self, spd_problem):
+        grid, a = spd_problem
+        n, k = a.shape[0], 25
+        w, b, c = self._schur_setup(grid, a, k, seed=7)
+        f = SparseSolver().factorize_schur(
+            w, np.arange(n, n + k), coords_interior=grid.points(),
+            symmetric_values=True,
+        )
+        ref = -(c @ spla.spsolve(a.tocsc(), b.toarray()))
+        np.testing.assert_allclose(f.schur, ref, atol=1e-10)
+        f.free()
+
+    def test_unsymmetric_schur(self, spd_problem):
+        grid, a = spd_problem
+        n, k = a.shape[0], 20
+        w, b, c = self._schur_setup(grid, a, k, seed=11, unsym=True)
+        f = SparseSolver().factorize_schur(
+            w, np.arange(n, n + k), coords_interior=grid.points(),
+            symmetric_values=False,
+        )
+        ref = -(c @ spla.spsolve(a.tocsc(), b.toarray()))
+        np.testing.assert_allclose(f.schur, ref, atol=1e-10)
+        f.free()
+
+    def test_schur_includes_a22_entries(self, spd_problem):
+        grid, a = spd_problem
+        n, k = a.shape[0], 12
+        w, b, c = self._schur_setup(grid, a, k, seed=13)
+        w = w.tolil()
+        for i in range(k):
+            w[n + i, n + i] = 10.0 + i
+        w = w.tocsr()
+        f = SparseSolver().factorize_schur(
+            w, np.arange(n, n + k), coords_interior=grid.points(),
+            symmetric_values=True,
+        )
+        ref = np.diag(10.0 + np.arange(k)) - (
+            c @ spla.spsolve(a.tocsc(), b.toarray())
+        )
+        np.testing.assert_allclose(f.schur, ref, atol=1e-10)
+        f.free()
+
+    def test_schur_is_dense_ndarray(self, spd_problem):
+        """Faithful to the paper's API constraint: S comes back dense."""
+        grid, a = spd_problem
+        n, k = a.shape[0], 10
+        w, _, _ = self._schur_setup(grid, a, k, seed=17)
+        f = SparseSolver().factorize_schur(
+            w, np.arange(n, n + k), coords_interior=grid.points(),
+            symmetric_values=True,
+        )
+        assert isinstance(f.schur, np.ndarray)
+        assert f.schur.shape == (k, k)
+        f.free()
+
+    def test_interior_solve_with_schur_present(self, spd_problem, rng):
+        grid, a = spd_problem
+        n, k = a.shape[0], 15
+        w, _, _ = self._schur_setup(grid, a, k, seed=19)
+        f = SparseSolver().factorize_schur(
+            w, np.arange(n, n + k), coords_interior=grid.points(),
+            symmetric_values=True,
+        )
+        b = rng.standard_normal(n)
+        x = f.solve(b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+        f.free()
+
+    def test_take_schur_transfers_ownership(self, spd_problem):
+        grid, a = spd_problem
+        n, k = a.shape[0], 8
+        w, _, _ = self._schur_setup(grid, a, k, seed=23)
+        t = MemoryTracker()
+        f = SparseSolver(tracker=t).factorize_schur(
+            w, np.arange(n, n + k), coords_interior=grid.points(),
+            symmetric_values=True,
+        )
+        s, alloc = f.take_schur()
+        f.free()
+        assert t.in_use == alloc.nbytes  # only the transferred Schur remains
+        alloc.free()
+        t.assert_all_freed()
+
+    def test_take_schur_without_schur_rejected(self, spd_problem):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points(),
+                                     symmetric_values=True)
+        with pytest.raises(ConfigurationError):
+            f.take_schur()
+        f.free()
+
+
+class TestBLR:
+    def test_blr_preserves_solve_accuracy(self, spd_problem, rng):
+        grid, a = spd_problem
+        f = SparseSolver(blr=BLRConfig(tol=1e-10, min_panel=16)).factorize(
+            a, coords=grid.points(), symmetric_values=True
+        )
+        b = rng.standard_normal(a.shape[0])
+        res = np.linalg.norm(a @ f.solve(b) - b) / np.linalg.norm(b)
+        assert res < 1e-7
+        f.free()
+
+    def test_loose_blr_reduces_factor_bytes(self, spd_problem):
+        grid, a = spd_problem
+        dense_f = SparseSolver(blr=None).factorize(
+            a, coords=grid.points(), symmetric_values=True
+        )
+        blr_f = SparseSolver(
+            blr=BLRConfig(tol=1e-1, min_panel=8, max_rank_fraction=0.9)
+        ).factorize(a, coords=grid.points(), symmetric_values=True)
+        assert blr_f.factor_bytes < dense_f.factor_bytes
+        dense_f.free()
+        blr_f.free()
+
+    def test_blr_error_scales_with_tolerance(self, spd_problem, rng):
+        grid, a = spd_problem
+        b = rng.standard_normal(a.shape[0])
+        errs = []
+        for tol in (1e-2, 1e-8):
+            f = SparseSolver(
+                blr=BLRConfig(tol=tol, min_panel=8, max_rank_fraction=1.0)
+            ).factorize(a, coords=grid.points(), symmetric_values=True)
+            errs.append(
+                np.linalg.norm(a @ f.solve(b) - b) / np.linalg.norm(b)
+            )
+            f.free()
+        assert errs[1] < errs[0]
+
+
+class TestMemoryAccounting:
+    def test_no_leaks_after_free(self, spd_problem, rng):
+        grid, a = spd_problem
+        t = MemoryTracker()
+        f = SparseSolver(tracker=t).factorize(
+            a, coords=grid.points(), symmetric_values=True
+        )
+        f.solve(rng.standard_normal(a.shape[0]))
+        assert t.in_use > 0
+        f.free()
+        t.assert_all_freed()
+
+    def test_peak_includes_front_workspace(self, spd_problem):
+        grid, a = spd_problem
+        t = MemoryTracker()
+        f = SparseSolver(tracker=t).factorize(
+            a, coords=grid.points(), symmetric_values=True
+        )
+        assert t.peak > f.factor_bytes  # transient fronts exceeded factors
+        assert t.category_peak("front_workspace") > 0
+        assert t.category_peak("update_stack") > 0
+        f.free()
+
+    def test_unsymmetric_mode_doubles_factor_storage(self, spd_problem):
+        """The paper's duplicated-storage effect: LU stores two panels."""
+        grid, a = spd_problem
+        f_ldlt = SparseSolver().factorize(a, coords=grid.points(),
+                                          symmetric_values=True)
+        f_lu = SparseSolver().factorize(a, coords=grid.points(),
+                                        symmetric_values=False)
+        assert f_lu.factor_bytes > 1.6 * f_ldlt.factor_bytes
+        f_ldlt.free()
+        f_lu.free()
+
+    def test_memory_limit_aborts_factorization(self, spd_problem):
+        from repro.utils.errors import MemoryLimitExceeded
+        grid, a = spd_problem
+        t = MemoryTracker(limit_bytes=50_000)
+        with pytest.raises(MemoryLimitExceeded):
+            SparseSolver(tracker=t).factorize(
+                a, coords=grid.points(), symmetric_values=True
+            )
+
+
+class TestSymmetryProbe:
+    def test_auto_detects_symmetric(self, spd_problem, rng):
+        grid, a = spd_problem
+        f = SparseSolver().factorize(a, coords=grid.points())
+        assert f.mode == "ldlt"
+        f.free()
+
+    def test_auto_detects_unsymmetric(self, unsym_problem):
+        grid, a = unsym_problem
+        f = SparseSolver().factorize(a, coords=grid.points())
+        assert f.mode == "lu"
+        f.free()

@@ -1,0 +1,148 @@
+"""Tests for the out-of-core dense storage and the OOC Schur backend."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+from repro.dense.ooc import OutOfCoreDense
+from repro.memory import MemoryTracker
+from repro.utils.errors import ConfigurationError, SingularMatrixError
+
+
+def _fill(ooc, a):
+    for lo, hi in ooc.panel_bounds():
+        ooc.write_panel(lo, hi, a[:, lo:hi])
+
+
+class TestOutOfCoreDense:
+    def test_roundtrip(self, rng, tmp_path):
+        n = 120
+        a = rng.standard_normal((n, n))
+        ooc = OutOfCoreDense(n, np.float64, panel_width=32,
+                             directory=str(tmp_path))
+        _fill(ooc, a)
+        np.testing.assert_array_equal(ooc.to_dense(), a)
+        ooc.close()
+
+    @pytest.mark.parametrize("n,w", [(50, 7), (120, 32), (200, 200),
+                                     (64, 64)])
+    def test_lu_solve_accuracy(self, rng, n, w, tmp_path):
+        a = rng.standard_normal((n, n)) + 10 * n ** 0.5 * np.eye(n)
+        ooc = OutOfCoreDense(n, np.float64, panel_width=w,
+                             directory=str(tmp_path))
+        _fill(ooc, a)
+        ooc.factorize_lu_inplace()
+        b = rng.standard_normal((n, 2))
+        x = ooc.solve(b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+        ooc.close()
+
+    def test_complex(self, rng, tmp_path):
+        n = 90
+        a = (rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+             + 15 * np.eye(n))
+        ooc = OutOfCoreDense(n, np.complex128, panel_width=40,
+                             directory=str(tmp_path))
+        _fill(ooc, a)
+        ooc.factorize_lu_inplace()
+        b = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(a @ ooc.solve(b), b, atol=1e-8)
+        ooc.close()
+
+    def test_resident_memory_bounded_by_panels(self, rng, tmp_path):
+        n, w = 300, 50
+        t = MemoryTracker()
+        a = rng.standard_normal((n, n)) + 40 * np.eye(n)
+        ooc = OutOfCoreDense(n, np.float64, panel_width=w, tracker=t,
+                             directory=str(tmp_path))
+        _fill(ooc, a)
+        ooc.factorize_lu_inplace()
+        ooc.solve(rng.standard_normal(n))
+        # at most two panels resident at any time
+        assert t.peak <= 2 * n * w * 8 + 1024
+        assert ooc.disk_bytes == n * n * 8
+        ooc.close()
+        t.assert_all_freed()
+
+    def test_add_to_columns(self, rng, tmp_path):
+        n = 80
+        a = rng.standard_normal((n, n))
+        ooc = OutOfCoreDense(n, np.float64, panel_width=32,
+                             directory=str(tmp_path))
+        _fill(ooc, a)
+        delta = rng.standard_normal((n, 10))
+        ooc.add_to_columns(5, 15, delta)
+        a[:, 5:15] += delta
+        np.testing.assert_allclose(ooc.to_dense(), a)
+        ooc.close()
+
+    def test_zero_pivot_raises(self, tmp_path):
+        n = 20
+        ooc = OutOfCoreDense(n, np.float64, panel_width=8,
+                             directory=str(tmp_path))
+        _fill(ooc, np.zeros((n, n)))
+        with pytest.raises(SingularMatrixError):
+            ooc.factorize_lu_inplace()
+        ooc.close()
+
+    def test_double_factorize_rejected(self, rng, tmp_path):
+        n = 20
+        ooc = OutOfCoreDense(n, np.float64, panel_width=8,
+                             directory=str(tmp_path))
+        _fill(ooc, np.eye(n))
+        ooc.factorize_lu_inplace()
+        with pytest.raises(ConfigurationError):
+            ooc.factorize_lu_inplace()
+        ooc.close()
+
+    def test_solve_before_factorize_rejected(self, tmp_path):
+        ooc = OutOfCoreDense(10, np.float64, directory=str(tmp_path))
+        with pytest.raises(ConfigurationError):
+            ooc.solve(np.zeros(10))
+        ooc.close()
+
+    def test_close_removes_file(self, tmp_path):
+        import os
+        ooc = OutOfCoreDense(10, np.float64, directory=str(tmp_path))
+        path = ooc.path
+        assert os.path.exists(path)
+        ooc.close()
+        assert not os.path.exists(path)
+        ooc.close()  # idempotent
+
+
+class TestOocBackend:
+    def test_multi_solve_matches_in_core(self, pipe_medium):
+        ic = solve_coupled(pipe_medium, "multi_solve",
+                           SolverConfig(dense_backend="spido", n_c=96))
+        ooc = solve_coupled(pipe_medium, "multi_solve",
+                            SolverConfig(dense_backend="spido_ooc", n_c=96))
+        np.testing.assert_allclose(ic.x, ooc.x, atol=1e-8)
+
+    def test_ram_peak_reduced(self, pipe_medium):
+        ic = solve_coupled(pipe_medium, "multi_solve",
+                           SolverConfig(dense_backend="spido", n_c=96))
+        ooc = solve_coupled(pipe_medium, "multi_solve",
+                            SolverConfig(dense_backend="spido_ooc", n_c=96))
+        assert ooc.stats.peak_bytes < ic.stats.peak_bytes
+        # the dense S itself went to disk
+        assert ooc.stats.schur_bytes == ic.stats.schur_bytes
+
+    def test_multi_factorization_ooc(self, pipe_medium):
+        sol = solve_coupled(
+            pipe_medium, "multi_factorization",
+            SolverConfig(dense_backend="spido_ooc", n_b=2),
+        )
+        assert sol.relative_error < 1e-3
+
+    def test_coupling_label(self):
+        assert SolverConfig(dense_backend="spido_ooc").coupling_name == (
+            "MUMPS/SPIDO-OOC"
+        )
+
+    def test_aircraft_complex_ooc(self, aircraft_small):
+        sol = solve_coupled(
+            aircraft_small, "multi_solve",
+            SolverConfig(dense_backend="spido_ooc", n_c=64, epsilon=1e-4),
+        )
+        assert sol.relative_error < 1e-4

@@ -1,0 +1,73 @@
+"""Consistency tests for the transcribed paper reference data."""
+
+import pytest
+
+from repro.runner.paper_reference import (
+    ADVANCED_REFERENCE_TIMES,
+    FIG10_MAX_UNKNOWNS,
+    FIG11_EPSILON,
+    TABLE1,
+    TABLE2,
+    TABLE2_N_SURFACE,
+    TABLE2_N_VOLUME,
+    TABLE2_ORDERINGS,
+)
+
+
+class TestTable1Data:
+    def test_four_rows_sum_consistently(self):
+        assert len(TABLE1) == 4
+        for n, bem, fem in TABLE1:
+            assert bem + fem == n
+
+    def test_monotone_sizes(self):
+        sizes = [row[0] for row in TABLE1]
+        assert sizes == sorted(sizes)
+
+    def test_bem_ratio_constant(self):
+        ratios = [bem / n ** (2 / 3) for n, bem, _ in TABLE1]
+        assert max(ratios) - min(ratios) < 0.02
+
+
+class TestFig10Data:
+    def test_capacity_ordering(self):
+        caps = FIG10_MAX_UNKNOWNS
+        assert caps["multi_solve_compressed"] > caps["multi_solve"]
+        assert caps["multi_solve"] > caps["multi_factorization"]
+        assert caps["multi_factorization"] > caps["advanced"]
+        assert caps["advanced"] > caps["advanced_uncompressed"]
+
+    def test_reference_times(self):
+        n, t = ADVANCED_REFERENCE_TIMES["advanced"]
+        assert n == 1_300_000 and t == 455.0
+        n, t = ADVANCED_REFERENCE_TIMES["advanced_uncompressed"]
+        assert n == 1_000_000 and t == 917.0
+
+    def test_epsilon(self):
+        assert FIG11_EPSILON == 1e-3
+
+
+class TestTable2Data:
+    def test_nine_rows(self):
+        assert len(TABLE2) == 9
+
+    def test_compression_progression(self):
+        # rows 1-3 uncompressed, 4-5 sparse only, 6-9 both
+        assert all(r[0] == "off" and r[1] == "off" for r in TABLE2[:3])
+        assert all(r[0] == "on" and r[1] == "off" for r in TABLE2[3:5])
+        assert all(r[0] == "on" and r[1] == "on" for r in TABLE2[5:])
+
+    def test_schur_blocks_grow_in_final_rows(self):
+        nbs = [r[3] for r in TABLE2[6:]]
+        assert nbs == [8, 4, 2]  # halving block count = doubling block size
+
+    def test_orderings_reference_valid_rows(self):
+        for a, b, metric in TABLE2_ORDERINGS:
+            assert 0 <= a < 9 and 0 <= b < 9
+            assert metric in ("time", "ram")
+
+    def test_industrial_unknown_counts(self):
+        assert TABLE2_N_VOLUME == 2_090_638
+        assert TABLE2_N_SURFACE == 168_830
+        frac = TABLE2_N_SURFACE / (TABLE2_N_VOLUME + TABLE2_N_SURFACE)
+        assert frac == pytest.approx(0.0747, abs=1e-3)

@@ -1,0 +1,81 @@
+"""Tests for single-precision support (the paper's industrial setting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+from repro.fembem import generate_aircraft_case, generate_pipe_case
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def pipe_single():
+    return generate_pipe_case(1_600, precision="single")
+
+
+@pytest.fixture(scope="module")
+def aircraft_single():
+    return generate_aircraft_case(1_600, bem_fraction=0.25,
+                                  precision="single")
+
+
+class TestGenerators:
+    def test_pipe_dtypes(self, pipe_single):
+        p = pipe_single
+        assert p.dtype == np.float32
+        for arr in (p.b_v, p.b_s, p.x_v_exact, p.x_s_exact):
+            assert arr.dtype == np.float32
+        assert p.a_vv.dtype == np.float32
+        assert p.a_sv.dtype == np.float32
+        assert p.a_ss_op.dtype == np.float32
+
+    def test_aircraft_dtypes(self, aircraft_single):
+        p = aircraft_single
+        assert p.dtype == np.complex64
+        assert p.a_vv.dtype == np.complex64
+        assert p.b_s.dtype == np.complex64
+
+    def test_manufactured_solution_consistent(self, pipe_single):
+        # single-precision arithmetic: residual at the float32 level
+        assert pipe_single.residual_norm(
+            pipe_single.x_v_exact, pipe_single.x_s_exact
+        ) < 1e-5
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_pipe_case(1_500, precision="half")
+        with pytest.raises(ConfigurationError):
+            generate_aircraft_case(1_500, precision="quad")
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("algorithm", ["multi_solve",
+                                           "multi_factorization"])
+    def test_pipe_single_precision_solve(self, pipe_single, algorithm):
+        sol = solve_coupled(pipe_single, algorithm,
+                            SolverConfig(n_c=64, n_b=2))
+        assert sol.x_v.dtype == np.float32
+        assert sol.relative_error < 1e-3
+
+    def test_aircraft_single_compressed(self, aircraft_single):
+        sol = solve_coupled(
+            aircraft_single, "multi_solve",
+            SolverConfig(dense_backend="hmat", n_c=64, epsilon=1e-4),
+        )
+        assert sol.x_s.dtype == np.complex64
+        assert sol.relative_error < 1e-4
+
+    def test_single_halves_memory(self):
+        double = generate_pipe_case(2_000, precision="double")
+        single = generate_pipe_case(2_000, precision="single")
+        cfg = SolverConfig(n_c=64)
+        peak_d = solve_coupled(double, "multi_solve", cfg).stats.peak_bytes
+        peak_s = solve_coupled(single, "multi_solve", cfg).stats.peak_bytes
+        assert peak_s == pytest.approx(peak_d / 2, rel=0.1)
+
+    def test_ooc_single_precision(self, pipe_single):
+        sol = solve_coupled(
+            pipe_single, "multi_solve",
+            SolverConfig(dense_backend="spido_ooc", n_c=64),
+        )
+        assert sol.relative_error < 1e-3

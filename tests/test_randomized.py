@@ -1,0 +1,160 @@
+"""Tests for the randomized compressed-Schur assembly (§VII future work)."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.core import SolverConfig, solve_coupled
+from repro.core.randomized import (
+    CorrectionSampler,
+    randomized_block_rk,
+    subtract_randomized_correction,
+)
+from repro.sparse import SparseSolver
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def sampler_setup(pipe_small):
+    mf = SparseSolver().factorize(
+        pipe_small.a_vv, coords=pipe_small.coords_v, symmetric_values=True
+    )
+    sampler = CorrectionSampler(mf, pipe_small.a_sv)
+    # exact correction for reference
+    y = spla.spsolve(pipe_small.a_vv.tocsc(), pipe_small.a_sv.T.toarray())
+    k_exact = pipe_small.a_sv @ y
+    return sampler, k_exact
+
+
+class TestSampler:
+    def test_apply_matches_exact(self, sampler_setup, rng):
+        sampler, k_exact = sampler_setup
+        n = k_exact.shape[0]
+        rows = np.arange(0, n, 2)
+        cols = np.arange(1, n, 3)
+        x = rng.standard_normal((len(cols), 4))
+        got = sampler.apply(rows, cols, x)
+        ref = k_exact[np.ix_(rows, cols)] @ x
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_apply_transpose_matches_exact(self, sampler_setup, rng):
+        sampler, k_exact = sampler_setup
+        n = k_exact.shape[0]
+        rows = np.arange(10, 100)
+        cols = np.arange(40, 200)
+        x = rng.standard_normal((len(rows), 3))
+        got = sampler.apply_transpose(rows, cols, x)
+        ref = k_exact[np.ix_(rows, cols)].T @ x
+        np.testing.assert_allclose(got, ref, atol=1e-8)
+
+    def test_dense_block_matches_exact(self, sampler_setup):
+        sampler, k_exact = sampler_setup
+        rows = np.arange(5, 25)
+        cols = np.arange(50, 70)
+        got = sampler.dense_block(rows, cols, np.float64)
+        np.testing.assert_allclose(got, k_exact[np.ix_(rows, cols)],
+                                   atol=1e-10)
+
+    def test_solve_counter_hook(self, pipe_small):
+        mf = SparseSolver().factorize(
+            pipe_small.a_vv, coords=pipe_small.coords_v,
+            symmetric_values=True,
+        )
+        count = [0]
+        sampler = CorrectionSampler(
+            mf, pipe_small.a_sv, on_solve=lambda: count.__setitem__(0, count[0] + 1)
+        )
+        sampler.apply(np.arange(10), np.arange(10), np.eye(10))
+        assert count[0] == 1
+        mf.free()
+
+
+class TestRandomizedBlockRk:
+    def test_approximates_offdiagonal_block(self, sampler_setup, rng):
+        sampler, k_exact = sampler_setup
+        n = k_exact.shape[0]
+        rows = np.arange(0, n // 2)
+        cols = np.arange(n // 2, n)
+        rk = randomized_block_rk(sampler, rows, cols, tol=1e-8,
+                                 rng=rng, dtype=np.float64)
+        ref = k_exact[np.ix_(rows, cols)]
+        err = np.linalg.norm(rk.to_dense() - ref) / np.linalg.norm(ref)
+        assert err < 1e-6
+
+    def test_rank_adapts_to_tolerance(self, sampler_setup, rng):
+        sampler, k_exact = sampler_setup
+        n = k_exact.shape[0]
+        rows = np.arange(0, n // 2)
+        cols = np.arange(n // 2, n)
+        loose = randomized_block_rk(sampler, rows, cols, tol=1e-2,
+                                    rng=rng, dtype=np.float64,
+                                    start_rank=4)
+        tight = randomized_block_rk(sampler, rows, cols, tol=1e-9,
+                                    rng=rng, dtype=np.float64,
+                                    start_rank=4)
+        assert loose.rank <= tight.rank
+
+    def test_zero_coupling_gives_rank_zero(self, pipe_small, rng):
+        import scipy.sparse as sp
+        mf = SparseSolver().factorize(
+            pipe_small.a_vv, coords=pipe_small.coords_v,
+            symmetric_values=True,
+        )
+        zero_coupling = sp.csr_matrix((pipe_small.n_bem, pipe_small.n_fem))
+        sampler = CorrectionSampler(mf, zero_coupling)
+        rk = randomized_block_rk(
+            sampler, np.arange(20), np.arange(20, 50), tol=1e-6,
+            rng=rng, dtype=np.float64,
+        )
+        assert rk.rank == 0
+        mf.free()
+
+
+class TestEndToEnd:
+    def test_randomized_matches_blocked(self, pipe_medium):
+        base = SolverConfig(dense_backend="hmat", n_c=96, n_s_block=256)
+        blocked = solve_coupled(pipe_medium, "multi_solve", base)
+        randomized = solve_coupled(
+            pipe_medium, "multi_solve",
+            base.with_(schur_assembly="randomized"),
+        )
+        assert randomized.relative_error < base.epsilon
+        np.testing.assert_allclose(blocked.x, randomized.x,
+                                   atol=10 * base.epsilon)
+
+    def test_no_dense_panel_category(self, pipe_medium):
+        """The defining property: no spmm panel is ever allocated."""
+        sol = solve_coupled(
+            pipe_medium, "multi_solve",
+            SolverConfig(dense_backend="hmat",
+                         schur_assembly="randomized"),
+        )
+        assert "spmm_panel" not in sol.stats.peak_by_category
+
+    def test_lower_peak_than_blocked(self, pipe_medium):
+        base = SolverConfig(dense_backend="hmat", n_c=256, n_s_block=1024)
+        blocked = solve_coupled(pipe_medium, "multi_solve", base)
+        randomized = solve_coupled(
+            pipe_medium, "multi_solve",
+            base.with_(schur_assembly="randomized"),
+        )
+        assert randomized.stats.peak_bytes < blocked.stats.peak_bytes
+
+    def test_deterministic_given_seed(self, pipe_small):
+        cfg = SolverConfig(dense_backend="hmat",
+                           schur_assembly="randomized", seed=42)
+        a = solve_coupled(pipe_small, "multi_solve", cfg)
+        b = solve_coupled(pipe_small, "multi_solve", cfg)
+        np.testing.assert_array_equal(a.x, b.x)
+
+    def test_invalid_assembly_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(schur_assembly="magic")
+
+    def test_complex_case(self, aircraft_small):
+        sol = solve_coupled(
+            aircraft_small, "multi_solve",
+            SolverConfig(dense_backend="hmat", epsilon=1e-4,
+                         schur_assembly="randomized"),
+        )
+        assert sol.relative_error < 1e-4

@@ -1,0 +1,72 @@
+"""Tests for iterative refinement on the coupled solve."""
+
+import numpy as np
+import pytest
+
+from repro.core import SolverConfig, solve_coupled
+from repro.utils.errors import ConfigurationError
+
+LOOSE = SolverConfig(dense_backend="hmat", epsilon=1e-2, n_c=96,
+                     n_s_block=256)
+
+
+class TestIterativeRefinement:
+    def test_each_step_reduces_error(self, pipe_medium):
+        errors = []
+        for steps in (0, 1, 2):
+            sol = solve_coupled(pipe_medium, "multi_solve",
+                                LOOSE.with_(refinement_steps=steps))
+            errors.append(sol.relative_error)
+        assert errors[1] < 0.2 * errors[0]
+        assert errors[2] < 0.2 * errors[1]
+
+    def test_loose_compression_plus_refinement_beats_tight(self, pipe_medium):
+        """ε=1e-2 storage with 2 IR steps reaches ε=1e-4-class accuracy."""
+        loose_refined = solve_coupled(
+            pipe_medium, "multi_solve", LOOSE.with_(refinement_steps=2)
+        )
+        tight_direct = solve_coupled(
+            pipe_medium, "multi_solve", LOOSE.with_(epsilon=1e-4)
+        )
+        assert loose_refined.relative_error < tight_direct.relative_error
+        assert loose_refined.stats.schur_bytes < tight_direct.stats.schur_bytes
+
+    def test_refinement_phase_timed(self, pipe_small):
+        sol = solve_coupled(pipe_small, "multi_solve",
+                            LOOSE.with_(refinement_steps=1))
+        assert sol.stats.phases.get("iterative_refinement", 0) >= 0
+        assert "iterative_refinement" in sol.stats.phases
+
+    def test_works_for_multi_factorization(self, pipe_small):
+        sol = solve_coupled(
+            pipe_small, "multi_factorization",
+            LOOSE.with_(refinement_steps=2, n_b=2),
+        )
+        assert sol.relative_error < 1e-4
+
+    def test_works_on_exact_factorization(self, pipe_small):
+        """Refinement on an (almost) exact solve is a harmless no-op."""
+        base = SolverConfig(sparse_compression=False)
+        plain = solve_coupled(pipe_small, "advanced", base)
+        refined = solve_coupled(pipe_small, "advanced",
+                                base.with_(refinement_steps=1))
+        assert refined.relative_error <= plain.relative_error * 10 + 1e-14
+
+    def test_complex_nonsymmetric(self, aircraft_small):
+        sol = solve_coupled(
+            aircraft_small, "multi_solve",
+            SolverConfig(dense_backend="hmat", epsilon=1e-3,
+                         refinement_steps=2),
+        )
+        assert sol.relative_error < 1e-6
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SolverConfig(refinement_steps=-1)
+
+    def test_solve_count_grows_with_steps(self, pipe_small):
+        a = solve_coupled(pipe_small, "multi_solve",
+                          LOOSE.with_(refinement_steps=0))
+        b = solve_coupled(pipe_small, "multi_solve",
+                          LOOSE.with_(refinement_steps=2))
+        assert b.stats.n_sparse_solves == a.stats.n_sparse_solves + 4

@@ -1,0 +1,169 @@
+"""Tests for Rk (low-rank outer-product) blocks and SVD truncation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hmatrix.rk import RkMatrix, rk_sum, svd_truncate
+from repro.utils.errors import ConfigurationError
+
+
+def _low_rank(rng, m, n, r, dtype=np.float64):
+    u = rng.standard_normal((m, r)).astype(dtype)
+    v = rng.standard_normal((n, r)).astype(dtype)
+    if np.issubdtype(dtype, np.complexfloating):
+        u = u + 1j * rng.standard_normal((m, r))
+        v = v + 1j * rng.standard_normal((n, r))
+    return u @ v.T
+
+
+class TestSvdTruncate:
+    def test_exact_rank_recovered(self, rng):
+        a = _low_rank(rng, 40, 30, 5)
+        u, v = svd_truncate(a, tol=1e-10)
+        assert u.shape[1] == 5
+        np.testing.assert_allclose(u @ v.T, a, atol=1e-8)
+
+    def test_error_bounded_by_tolerance(self, rng):
+        a = rng.standard_normal((50, 50))
+        tol = 1e-2
+        u, v = svd_truncate(a, tol=tol)
+        err = np.linalg.norm(a - u @ v.T, 2)
+        sigma1 = np.linalg.norm(a, 2)
+        assert err <= tol * sigma1 * 1.0001
+
+    def test_max_rank_cap(self, rng):
+        a = rng.standard_normal((30, 30))
+        u, v = svd_truncate(a, tol=0.0, max_rank=7)
+        assert u.shape[1] == 7
+
+    def test_zero_matrix_gives_rank_zero(self):
+        u, v = svd_truncate(np.zeros((10, 5)), tol=1e-3)
+        assert u.shape == (10, 0)
+        assert v.shape == (5, 0)
+
+    def test_norm_ref_allows_dropping_relative_to_context(self, rng):
+        a = 1e-8 * rng.standard_normal((20, 20))
+        # relative to its own norm the block is full rank, relative to a
+        # large context norm it rounds to nothing
+        u, _ = svd_truncate(a, tol=1e-3, norm_ref=1.0)
+        assert u.shape[1] == 0
+
+    def test_empty_block(self):
+        u, v = svd_truncate(np.zeros((0, 4)), tol=1e-3)
+        assert u.shape == (0, 0)
+        assert v.shape == (4, 0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            svd_truncate(np.zeros(5), tol=1e-3)
+
+
+class TestRkMatrix:
+    def test_construction_and_props(self, rng):
+        rk = RkMatrix(rng.standard_normal((8, 3)), rng.standard_normal((6, 3)))
+        assert rk.shape == (8, 6)
+        assert rk.rank == 3
+        assert rk.nbytes == (8 + 6) * 3 * 8
+
+    def test_mismatched_factors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RkMatrix(np.zeros((5, 2)), np.zeros((4, 3)))
+
+    def test_zeros_constructor(self):
+        rk = RkMatrix.zeros(4, 7)
+        assert rk.rank == 0
+        np.testing.assert_array_equal(rk.to_dense(), np.zeros((4, 7)))
+
+    def test_matvec_and_rmatvec(self, rng):
+        a = _low_rank(rng, 20, 15, 4)
+        rk = RkMatrix.from_dense(a, 1e-12)
+        x = rng.standard_normal((15, 2))
+        y = rng.standard_normal((20, 2))
+        np.testing.assert_allclose(rk.matvec(x), a @ x, atol=1e-10)
+        np.testing.assert_allclose(rk.rmatvec(y), a.T @ y, atol=1e-10)
+
+    def test_scaled_and_transposed(self, rng):
+        a = _low_rank(rng, 10, 12, 3)
+        rk = RkMatrix.from_dense(a, 1e-12)
+        np.testing.assert_allclose(rk.scaled(-2.0).to_dense(), -2 * a,
+                                   atol=1e-10)
+        np.testing.assert_allclose(rk.transposed().to_dense(), a.T,
+                                   atol=1e-10)
+
+    def test_truncate_reduces_inflated_rank(self, rng):
+        a = _low_rank(rng, 30, 30, 4)
+        u = np.hstack([RkMatrix.from_dense(a, 1e-12).u] * 3)
+        v = np.hstack([RkMatrix.from_dense(a, 1e-12).v] * 3)
+        fat = RkMatrix(u, v)  # rank 12 representation of 3x the block
+        slim = fat.truncate(1e-10)
+        assert slim.rank == 4
+        np.testing.assert_allclose(slim.to_dense(), 3 * a, atol=1e-8)
+
+    def test_truncate_thicker_than_block_falls_back(self, rng):
+        rk = RkMatrix(rng.standard_normal((5, 9)), rng.standard_normal((4, 9)))
+        out = rk.truncate(1e-12)
+        assert out.rank <= 4
+        np.testing.assert_allclose(out.to_dense(), rk.to_dense(), atol=1e-8)
+
+    def test_add_with_recompression(self, rng):
+        a = _low_rank(rng, 25, 20, 3)
+        b = _low_rank(rng, 25, 20, 2)
+        out = RkMatrix.from_dense(a, 1e-12).add(
+            RkMatrix.from_dense(b, 1e-12), tol=1e-10
+        )
+        assert out.rank <= 5
+        np.testing.assert_allclose(out.to_dense(), a + b, atol=1e-8)
+
+    def test_add_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RkMatrix.zeros(3, 3).add(RkMatrix.zeros(4, 3), tol=1e-3)
+
+    def test_add_rank_zero_is_identity(self, rng):
+        a = _low_rank(rng, 10, 10, 2)
+        rk = RkMatrix.from_dense(a, 1e-12)
+        out = rk.add(RkMatrix.zeros(10, 10), tol=1e-10)
+        np.testing.assert_allclose(out.to_dense(), a, atol=1e-10)
+
+    def test_complex_symmetric_uses_plain_transpose(self, rng):
+        a = _low_rank(rng, 15, 15, 3, np.complex128)
+        a = a + a.T  # complex symmetric
+        rk = RkMatrix.from_dense(a, 1e-12)
+        np.testing.assert_allclose(rk.to_dense(), a, atol=1e-8)
+
+    def test_norm_estimate_upper_bounds(self, rng):
+        a = _low_rank(rng, 12, 12, 3)
+        rk = RkMatrix.from_dense(a, 1e-12)
+        assert rk.norm_estimate() >= np.linalg.norm(a, "fro") * 0.999
+        assert RkMatrix.zeros(3, 3).norm_estimate() == 0.0
+
+
+class TestRkSum:
+    def test_sum_of_several(self, rng):
+        blocks = [_low_rank(rng, 18, 14, 2) for _ in range(4)]
+        rks = [RkMatrix.from_dense(b, 1e-12) for b in blocks]
+        out = rk_sum(rks, tol=1e-10)
+        np.testing.assert_allclose(out.to_dense(), sum(blocks), atol=1e-7)
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rk_sum([], tol=1e-3)
+
+    def test_all_zero_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rk_sum([RkMatrix.zeros(3, 3)], tol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(1, 30), n=st.integers(1, 30), r=st.integers(1, 6),
+    seed=st.integers(0, 500),
+)
+def test_property_from_dense_roundtrip(m, n, r, seed):
+    """from_dense at tight tolerance reproduces any low-rank block."""
+    rng = np.random.default_rng(seed)
+    a = _low_rank(rng, m, n, min(r, m, n))
+    rk = RkMatrix.from_dense(a, 1e-12)
+    assert rk.rank <= min(r, m, n)
+    np.testing.assert_allclose(rk.to_dense(), a, atol=1e-7 * max(1, np.abs(a).max()))

@@ -1,0 +1,134 @@
+"""Direct tests for the Schur containers and the shared run machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.schur_tools import (
+    DenseSchurContainer,
+    HodlrSchurContainer,
+    RunContext,
+    make_schur_container,
+)
+from repro.memory import MemoryTracker
+
+
+@pytest.fixture()
+def tracker():
+    return MemoryTracker()
+
+
+class TestDenseContainer:
+    def test_starts_from_a_ss(self, pipe_small, tracker):
+        c = DenseSchurContainer(pipe_small, SolverConfig(), tracker)
+        np.testing.assert_allclose(c.s, pipe_small.a_ss_op.to_dense())
+        c.free()
+        tracker.assert_all_freed()
+
+    def test_starts_from_zero(self, pipe_small, tracker):
+        c = DenseSchurContainer(pipe_small, SolverConfig(), tracker,
+                                start_from_a_ss=False)
+        assert np.abs(c.s).max() == 0.0
+        c.add_a_ss_block(np.arange(4), np.arange(4))
+        expected = pipe_small.a_ss_op.block(np.arange(4), np.arange(4))
+        np.testing.assert_allclose(c.s[:4, :4], expected)
+        c.free()
+
+    def test_blockwise_updates(self, pipe_small, tracker, rng):
+        c = DenseSchurContainer(pipe_small, SolverConfig(), tracker)
+        ref = c.s.copy()
+        rows = np.arange(5, 25)
+        cols = np.arange(30, 50)
+        z = rng.standard_normal((20, 20))
+        c.subtract_block(z, rows, cols)
+        ref[np.ix_(rows, cols)] -= z
+        c.add_block(2 * z, rows, cols)
+        ref[np.ix_(rows, cols)] += 2 * z
+        np.testing.assert_allclose(c.s, ref)
+        c.free()
+
+    def test_factorize_and_solve(self, pipe_small, tracker, rng):
+        c = DenseSchurContainer(pipe_small, SolverConfig(), tracker)
+        s_ref = c.s.copy()
+        c.factorize(tracker)
+        b = rng.standard_normal(pipe_small.n_bem)
+        x = c.solve(b)
+        np.testing.assert_allclose(s_ref @ x, b, atol=1e-8)
+        c.free()
+        tracker.assert_all_freed()
+
+    def test_stored_bytes_is_dense(self, pipe_small, tracker):
+        c = DenseSchurContainer(pipe_small, SolverConfig(), tracker)
+        n = pipe_small.n_bem
+        assert c.stored_bytes == n * n * 8
+        c.free()
+
+
+class TestHodlrContainer:
+    def test_starts_from_compressed_a_ss(self, pipe_small, tracker):
+        c = HodlrSchurContainer(pipe_small, SolverConfig(dense_backend="hmat"),
+                                tracker)
+        dense = pipe_small.a_ss_op.to_dense()
+        err = np.abs(c.s.to_dense() - dense).max()
+        assert err < 1e-3 * np.abs(dense).max()
+        c.free()
+        tracker.assert_all_freed()
+
+    def test_tracked_bytes_follow_growth(self, pipe_small, tracker, rng):
+        c = HodlrSchurContainer(pipe_small, SolverConfig(dense_backend="hmat"),
+                                tracker)
+        before = tracker.category_in_use("schur_store")
+        n = pipe_small.n_bem
+        c.subtract_block(rng.standard_normal((n, 40)), np.arange(n),
+                         np.arange(40))
+        after = tracker.category_in_use("schur_store")
+        assert after == c.s.nbytes()
+        assert after != before
+        c.free()
+        tracker.assert_all_freed()
+
+    def test_factorize_and_solve(self, pipe_small, tracker, rng):
+        c = HodlrSchurContainer(pipe_small, SolverConfig(dense_backend="hmat"),
+                                tracker)
+        dense = pipe_small.a_ss_op.to_dense()
+        c.factorize(tracker)
+        b = rng.standard_normal(pipe_small.n_bem)
+        x = c.solve(b)
+        assert np.linalg.norm(dense @ x - b) / np.linalg.norm(b) < 1e-2
+        c.free()
+        tracker.assert_all_freed()
+
+
+class TestFactory:
+    def test_backend_dispatch(self, pipe_small, tracker):
+        dense = make_schur_container(pipe_small, SolverConfig(), tracker)
+        assert isinstance(dense, DenseSchurContainer)
+        dense.free()
+        comp = make_schur_container(
+            pipe_small, SolverConfig(dense_backend="hmat"), tracker
+        )
+        assert isinstance(comp, HodlrSchurContainer)
+        comp.free()
+        tracker.assert_all_freed()
+
+
+class TestRunContext:
+    def test_stats_snapshot(self, pipe_small):
+        ctx = RunContext(pipe_small, SolverConfig(n_c=42), "multi_solve")
+        with ctx.timer.phase("sparse_factorization"):
+            pass
+        ctx.n_sparse_factorizations = 3
+        stats = ctx.stats(schur_bytes=100, sparse_factor_bytes=200)
+        assert stats.algorithm == "multi_solve"
+        assert stats.coupling == "MUMPS/SPIDO"
+        assert stats.n_total == pipe_small.n_total
+        assert stats.schur_bytes == 100
+        assert stats.params["n_c"] == 42
+        assert stats.n_sparse_factorizations == 3
+        assert "sparse_factorization" in stats.phases
+
+    def test_schur_compression_ratio(self, pipe_small):
+        ctx = RunContext(pipe_small, SolverConfig(), "x")
+        n = pipe_small.n_bem
+        stats = ctx.stats(schur_bytes=n * n * 4, sparse_factor_bytes=0)
+        assert stats.schur_compression_ratio == pytest.approx(0.5)

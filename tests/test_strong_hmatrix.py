@@ -1,0 +1,124 @@
+"""Tests for the strong-admissibility ℋ-matrix format."""
+
+import numpy as np
+import pytest
+
+from repro.fembem.bem import make_surface_operator
+from repro.fembem.mesh import box_surface_points
+from repro.hmatrix import (
+    build_cluster_tree,
+    build_hodlr,
+    build_strong_hmatrix,
+    is_admissible,
+)
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pts = box_surface_points((10.0, 3.0, 3.0), 500, seed=9)
+    tree = build_cluster_tree(pts, leaf_size=40)
+    op = make_surface_operator(pts, kind="laplace")
+    return pts, tree, op, op.to_dense()
+
+
+class TestAdmissibility:
+    def test_disjoint_separated_boxes_admissible(self, setup):
+        _, tree, _, _ = setup
+        root = tree.root
+        # grandchildren on opposite ends of the long axis are separated
+        assert not root.is_leaf
+        left = root.children[0]
+        right = root.children[1]
+        while not left.is_leaf:
+            left = left.children[0]
+        while not right.is_leaf:
+            right = right.children[-1]
+        assert is_admissible(left, right, eta=2.0)
+
+    def test_touching_boxes_not_admissible(self, setup):
+        _, tree, _, _ = setup
+        c1, c2 = tree.root.children
+        # sibling halves touch: distance ~0
+        assert not is_admissible(c1, c2, eta=0.1) or c1.distance_to(c2) > 0
+
+    def test_self_block_never_admissible(self, setup):
+        _, tree, _, _ = setup
+        assert not is_admissible(tree.root, tree.root, eta=100.0)
+
+
+class TestAssembly:
+    def test_accuracy(self, setup):
+        _, tree, op, dense = setup
+        hm = build_strong_hmatrix(op, tree, tol=1e-7, eta=2.0)
+        err = np.abs(hm.to_dense() - dense).max()
+        assert err < 1e-5 * np.abs(dense).max()
+
+    def test_matvec_matches_dense(self, setup, rng):
+        _, tree, op, dense = setup
+        hm = build_strong_hmatrix(op, tree, tol=1e-8, eta=2.0)
+        x = rng.standard_normal((dense.shape[0], 3))
+        np.testing.assert_allclose(hm.matvec(x), dense @ x, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_bounded_ranks_versus_hodlr(self, setup):
+        """The point of strong admissibility: near-field stays dense and
+        far-field ranks stay bounded, versus HODLR's growing top ranks."""
+        _, tree, op, _ = setup
+        strong = build_strong_hmatrix(op, tree, tol=1e-6, eta=2.0)
+        hodlr = build_hodlr(op, tree, tol=1e-6)
+        assert strong.max_rank() < hodlr.max_rank()
+
+    def test_block_counts_structure(self, setup):
+        _, tree, op, _ = setup
+        hm = build_strong_hmatrix(op, tree, tol=1e-4, eta=2.0)
+        counts = hm.block_counts()
+        assert counts["rk"] > 0
+        assert counts["dense"] > 0
+
+    def test_eta_controls_near_field_size(self, setup):
+        """Larger η admits block pairs earlier (weaker criterion), so less
+        of the matrix is stored as dense near-field."""
+        _, tree, op, _ = setup
+
+        def dense_bytes(hm):
+            total = 0
+
+            def walk(node):
+                nonlocal total
+                if node.kind == "dense":
+                    total += node.dense.nbytes
+                for c in node.children:
+                    walk(c)
+
+            walk(hm.root)
+            return total
+
+        tight = build_strong_hmatrix(op, tree, tol=1e-5, eta=0.5)
+        loose = build_strong_hmatrix(op, tree, tol=1e-5, eta=4.0)
+        assert dense_bytes(loose) < dense_bytes(tight)
+
+    def test_dimension_checks(self, setup, rng):
+        _, tree, op, _ = setup
+        hm = build_strong_hmatrix(op, tree, tol=1e-4)
+        with pytest.raises(ConfigurationError):
+            hm.matvec(np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            build_strong_hmatrix(op, tree, tol=1e-4, eta=0.0)
+
+    def test_nbytes_positive_and_consistent(self, setup):
+        _, tree, op, _ = setup
+        hm = build_strong_hmatrix(op, tree, tol=1e-4)
+        assert 0 < hm.nbytes() <= hm.dense_nbytes() * 1.2
+        assert hm.compression_ratio() == pytest.approx(
+            hm.nbytes() / hm.dense_nbytes()
+        )
+
+    def test_complex_kernel(self, setup, rng):
+        pts, tree, _, _ = setup
+        op = make_surface_operator(pts, kind="helmholtz", wavenumber=0.5)
+        dense = op.to_dense()
+        hm = build_strong_hmatrix(op, tree, tol=1e-7, eta=2.0)
+        x = rng.standard_normal(len(pts)) + 1j * rng.standard_normal(len(pts))
+        np.testing.assert_allclose(hm.matvec(x), dense @ x, rtol=1e-5,
+                                   atol=1e-6)

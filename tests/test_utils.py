@@ -1,0 +1,140 @@
+"""Tests for the shared utilities (timers, dtypes, validation, errors)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ConfigurationError,
+    PhaseTimer,
+    Timer,
+    as_2d_array,
+    check_positive,
+    check_same_length,
+    check_square,
+    is_complex_dtype,
+    itemsize_of,
+    promote_dtype,
+    real_dtype_of,
+)
+
+
+class TestTimer:
+    def test_context_manager_measures_time(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_elapsed_accumulates_across_starts(self):
+        t = Timer()
+        t.start(); t.stop()
+        first = t.elapsed
+        t.start(); t.stop()
+        assert t.elapsed >= first
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        pt = PhaseTimer()
+        with pt.phase("a"):
+            pass
+        with pt.phase("a"):
+            pass
+        with pt.phase("b"):
+            pass
+        assert set(pt.phases) == {"a", "b"}
+        assert pt.get("a") >= 0.0
+        assert pt.get("missing") == 0.0
+
+    def test_add_manual_time(self):
+        pt = PhaseTimer()
+        pt.add("x", 1.5)
+        pt.add("x", 0.5)
+        assert pt.get("x") == pytest.approx(2.0)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().add("x", -1.0)
+
+    def test_total_sums_phases(self):
+        pt = PhaseTimer()
+        pt.add("a", 1.0)
+        pt.add("b", 2.0)
+        assert pt.total == pytest.approx(3.0)
+
+    def test_merge_folds_other_timer(self):
+        a = PhaseTimer()
+        a.add("x", 1.0)
+        b = PhaseTimer()
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.get("x") == pytest.approx(3.0)
+        assert a.get("y") == pytest.approx(1.0)
+
+    def test_phase_records_on_exception(self):
+        pt = PhaseTimer()
+        with pytest.raises(ValueError):
+            with pt.phase("boom"):
+                raise ValueError
+        assert "boom" in pt.phases
+
+
+class TestDtypes:
+    def test_is_complex_dtype(self):
+        assert is_complex_dtype(np.complex128)
+        assert is_complex_dtype(np.complex64)
+        assert not is_complex_dtype(np.float64)
+        assert not is_complex_dtype(np.int32)
+
+    def test_promote_prefers_widest(self):
+        assert promote_dtype(np.float64, np.complex128) == np.complex128
+        assert promote_dtype(np.float32, np.float64) == np.float64
+
+    def test_promote_integers_to_float(self):
+        assert promote_dtype(np.int64) == np.float64
+
+    def test_real_dtype_of(self):
+        assert real_dtype_of(np.complex128) == np.float64
+        assert real_dtype_of(np.complex64) == np.float32
+        assert real_dtype_of(np.float32) == np.float32
+
+    def test_itemsize(self):
+        assert itemsize_of(np.float64) == 8
+        assert itemsize_of(np.complex128) == 16
+
+
+class TestValidation:
+    def test_as_2d_promotes_vector_to_column(self):
+        out = as_2d_array(np.arange(3))
+        assert out.shape == (3, 1)
+
+    def test_as_2d_keeps_matrix(self):
+        out = as_2d_array(np.zeros((2, 5)))
+        assert out.shape == (2, 5)
+
+    def test_as_2d_rejects_3d(self):
+        with pytest.raises(ConfigurationError):
+            as_2d_array(np.zeros((2, 2, 2)))
+
+    def test_check_square(self):
+        check_square(np.zeros((3, 3)))
+        with pytest.raises(ConfigurationError):
+            check_square(np.zeros((3, 4)))
+
+    def test_check_same_length(self):
+        check_same_length([1, 2], [3, 4])
+        with pytest.raises(ConfigurationError):
+            check_same_length([1], [1, 2])
+
+    def test_check_positive(self):
+        check_positive(1)
+        with pytest.raises(ConfigurationError):
+            check_positive(0)
+        with pytest.raises(ConfigurationError):
+            check_positive(-3)
