@@ -20,7 +20,12 @@ directly onto the parameters the paper studies:
 * ``sparse_compression`` — BLR on/off in the sparse solver (Table II rows
   1–3 versus 4+);
 * ``memory_limit`` — hard logical-memory cap; exceeding it raises
-  :class:`repro.utils.MemoryLimitExceeded` (the paper's OOM analog).
+  :class:`repro.utils.MemoryLimitExceeded` (the paper's OOM analog);
+* ``n_workers`` — width of the shared-memory parallel runtime executing
+  independent panel solves / Schur block factorizations (the paper's
+  24-core node).  ``None`` resolves ``$REPRO_N_WORKERS`` and falls back
+  to 1 (serial, the historical behavior); solutions are bit-identical
+  for every worker count.
 """
 
 from __future__ import annotations
@@ -79,6 +84,11 @@ class SolverConfig:
     #: solver", §IV-B1) — the default stays faithful to that constraint;
     #: enabling this measures what the constraint costs (ablation bench).
     mf_exploit_diagonal_symmetry: bool = False
+    #: Worker threads of the parallel panel runtime (:mod:`repro.runtime`).
+    #: ``None`` = ``$REPRO_N_WORKERS`` if set, else 1 (serial).  Any value
+    #: yields bit-identical solutions; memory stays bounded by
+    #: ``memory_limit`` through the runtime's admission control.
+    n_workers: Optional[int] = None
 
     def __post_init__(self):
         if self.dense_backend not in _DENSE_BACKENDS:
@@ -111,6 +121,15 @@ class SolverConfig:
             )
         if self.refinement_steps < 0:
             raise ConfigurationError("refinement_steps must be >= 0")
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1 or None")
+
+    @property
+    def effective_n_workers(self) -> int:
+        """Resolved runtime width: ``n_workers``, ``$REPRO_N_WORKERS``, or 1."""
+        from repro.runtime import resolve_n_workers
+
+        return resolve_n_workers(self.n_workers)
 
     @property
     def hierarchical_tol(self) -> float:

@@ -19,6 +19,15 @@ reproduced from the paper:
 
 With the hierarchical dense backend each returned dense block ``X_ij`` is
 folded into the compressed ``S`` by a compressed AXPY (§IV-B2).
+
+The ``n_b²`` block factorizations are mutually independent — each builds
+its own ``W`` and pays its own sparse factorization — so they run on the
+shared-memory parallel runtime (:mod:`repro.runtime`) when
+``config.n_workers > 1``.  The folds into the Schur container are consumed
+on the caller thread in ``(i, j)`` order, keeping the assembled ``S``
+bit-identical for any worker count; with ``k`` workers up to ``k`` sparse
+factorizations are alive at once (the time/memory trade-off of
+parallelising this algorithm).
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.core.schur_tools import (
     make_schur_container,
 )
 from repro.fembem.cases import CoupledProblem
+from repro.runtime import PanelTask, ParallelRuntime
 from repro.sparse.solver import SparseSolver
 
 
@@ -76,15 +86,19 @@ def assemble_multi_factorization(ctx: RunContext):
 
     n_v = problem.n_fem
     blocks = _surface_blocks(problem.n_bem, config.n_b)
-    mf = None
-    sparse_factor_bytes = 0
+    n_blocks = len(blocks)
+    itemsize = np.dtype(problem.dtype).itemsize
+    state = {"mf": None, "factor_bytes": 0}
 
-    for i, rows_i in enumerate(blocks):
-        a_sv_i = problem.a_sv[rows_i]
-        for j, cols_j in enumerate(blocks):
+    def block_task(seq: int, i: int, j: int) -> PanelTask:
+        """One ``W = [[A_vv, A_sv_jᵀ], [A_sv_i, 0]]`` factorization+Schur."""
+        rows_i, cols_j = blocks[i], blocks[j]
+        k_i, k_j = len(rows_i), len(cols_j)
+        k = max(k_i, k_j)
+
+        def fn(timer, alloc):
+            a_sv_i = problem.a_sv[rows_i]
             a_sv_j_t = problem.a_sv[cols_j].T
-            k_i, k_j = len(rows_i), len(cols_j)
-            k = max(k_i, k_j)
             # the Schur feature operates on a square block: pad the thinner
             # coupling block with structurally empty Schur variables
             if k_i < k:
@@ -100,9 +114,6 @@ def assemble_multi_factorization(ctx: RunContext):
             w = sp.bmat([[problem.a_vv, b_block], [c_block, None]],
                         format="csr")
             schur_vars = np.arange(n_v, n_v + k)
-
-            if mf is not None:
-                mf.free()  # the API cannot keep A_vv factored across calls
             # W is non-symmetric except when i == j; the paper's solvers
             # offer no way to switch ("we can not rely on a symmetric mode
             # of the direct solver"), so the faithful default pays the
@@ -114,24 +125,64 @@ def assemble_multi_factorization(ctx: RunContext):
                 and i == j
                 and k_i == k_j
             )
-            with ctx.timer.phase("sparse_factorization_schur"):
-                mf = sparse.factorize_schur(
+            with timer.phase("sparse_factorization_schur"):
+                mf_ij = sparse.factorize_schur(
                     w, schur_vars, coords_interior=problem.coords_v,
                     symmetric_values=symmetric_block,
                 )
-            ctx.n_sparse_factorizations += 1
-            sparse_factor_bytes = max(sparse_factor_bytes, mf.factor_bytes)
+            return mf_ij
 
-            x_block, x_alloc = mf.take_schur()
-            phase = "schur_compression" if compressed else "schur_assembly"
-            with ctx.timer.phase(phase):
-                container.add_block(x_block[:k_i, :k_j], rows_i, cols_j)
-            del x_block
-            x_alloc.free()
+        # the factor storage is only known after the numeric factorization;
+        # reserving the dense Schur block twice over is a scheduling
+        # estimate — the tracker itself still hard-enforces the limit
+        return PanelTask(
+            index=seq,
+            fn=fn,
+            cost_bytes=0,
+            headroom_bytes=2 * k * k * itemsize,
+            category="schur_block",
+            label=f"W block ({i},{j})",
+            payload=(i, j),
+        )
 
-    with ctx.timer.phase("dense_factorization"):
-        container.factorize(ctx.tracker)
-    return mf, container, sparse_factor_bytes
+    def consume(task, mf_ij):
+        i, j = task.payload
+        rows_i, cols_j = blocks[i], blocks[j]
+        k_i, k_j = len(rows_i), len(cols_j)
+        ctx.n_sparse_factorizations += 1
+        state["factor_bytes"] = max(
+            state["factor_bytes"], mf_ij.factor_bytes
+        )
+        x_block, x_alloc = mf_ij.take_schur()
+        phase = "schur_compression" if compressed else "schur_assembly"
+        with ctx.timer.phase(phase):
+            container.add_block(x_block[:k_i, :k_j], rows_i, cols_j)
+        del x_block
+        x_alloc.free()
+        if task.index == n_blocks * n_blocks - 1:
+            # the last block's factorization still holds A_vv's factors,
+            # which the coupled right-hand-side solves reuse
+            state["mf"] = mf_ij
+        else:
+            mf_ij.free()  # the API cannot keep A_vv factored across calls
+
+    runtime = ParallelRuntime(
+        ctx.tracker, n_workers=ctx.n_workers, name="multi-facto"
+    )
+    try:
+        runtime.run(
+            [
+                block_task(i * n_blocks + j, i, j)
+                for i in range(n_blocks)
+                for j in range(n_blocks)
+            ],
+            consume,
+        )
+        with ctx.timer.phase("dense_factorization"):
+            container.factorize(ctx.tracker)
+    finally:
+        ctx.runtime_report = runtime.finalize(ctx.timer)
+    return state["mf"], container, state["factor_bytes"]
 
 
 def solve_multi_factorization(

@@ -21,6 +21,15 @@ so the dense working set shrinks from ``n_v × n_s`` to ``n_v × n_c``.
   *compressed AXPY* (compression + recompression).  The Schur block width
   ``n_S`` (``config.n_s_block``) is dissociated from the solve block width
   ``n_c`` to amortise recompression cost, exactly as §IV-A2 argues.
+
+The independent panel solves run on the shared-memory parallel runtime
+(:mod:`repro.runtime`) when ``config.n_workers > 1``: each panel is a
+:class:`~repro.runtime.PanelTask` whose logical footprint — the solve
+panel ``Y_i`` *and* the SpMM result ``Z_i`` — is acquired from the memory
+tracker under budget-aware admission control, and the folds into the
+Schur container are consumed on the caller thread in panel order, so the
+assembled ``S`` (and hence the solution) is bit-identical for any worker
+count.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.core.schur_tools import (
     make_schur_container,
 )
 from repro.fembem.cases import CoupledProblem
+from repro.runtime import PanelTask, ParallelRuntime
 from repro.sparse.solver import SparseSolver
 
 
@@ -89,73 +99,121 @@ def assemble_multi_solve(ctx: RunContext):
     a_sv_t = problem.a_sv.T.tocsc()
     all_rows = np.arange(n_s)
 
-    def solve_panel(col_lo: int, col_hi: int) -> np.ndarray:
-        """One blocked sparse solve + SpMM: ``Z = A_sv A_vv^{-1} (A_sv^T)_block``."""
-        rhs = a_sv_t[:, col_lo:col_hi].tocsr()
-        with ctx.tracker.borrow(
-            problem.n_fem * (col_hi - col_lo) * itemsize,
-            category="solve_panel", label="Y_i block",
-        ):
-            with ctx.timer.phase("sparse_solve"):
+    def panel_task(index: int, col_lo: int, col_hi: int) -> PanelTask:
+        """One blocked sparse solve + SpMM: ``Z = A_sv A_vv^{-1} (A_sv^T)_block``.
+
+        The task's budget covers both the solve panel ``Y_i``
+        (``n_fem × n_c``) and the SpMM result ``Z_i`` (``n_bem × n_c``)
+        that outlives it, plus reserved headroom for the solver's nested
+        workspace; the allocation is shrunk to the ``Z_i`` share once the
+        panel dies, and freed after the fold consumes the result.
+        """
+        width = col_hi - col_lo
+
+        def fn(timer, alloc):
+            rhs = a_sv_t[:, col_lo:col_hi].tocsr()
+            with timer.phase("sparse_solve"):
                 y = mf.solve(rhs, exploit_sparsity=config.exploit_sparse_rhs)
-            ctx.n_sparse_solves += 1
-            with ctx.timer.phase("spmm"):
+            with timer.phase("spmm"):
                 z = problem.a_sv @ y
-        return z
+            del y
+            alloc.resize(z.nbytes)
+            return z
 
-    if not compressed:
-        # Algorithm 1: dense S, assembled column block by column block
-        for lo in range(0, n_s, n_c):
-            hi = min(n_s, lo + n_c)
-            z = solve_panel(lo, hi)
-            with ctx.timer.phase("schur_assembly"):
-                container.subtract_block(z, all_rows, np.arange(lo, hi))
-            del z
-    elif config.schur_assembly == "randomized":
-        # future-work variant (§VII): every low-rank block of S is built
-        # directly in compressed form by randomized sampling of the
-        # correction operator — no dense Z panel ever exists
-        from repro.core.randomized import (
-            CorrectionSampler,
-            subtract_randomized_correction,
+        return PanelTask(
+            index=index,
+            fn=fn,
+            cost_bytes=(problem.n_fem + n_s) * width * itemsize,
+            headroom_bytes=mf.solve_workspace_bytes(width),
+            category="solve_panel",
+            label=f"Y/Z panel cols {col_lo}:{col_hi}",
+            payload=(col_lo, col_hi),
         )
 
-        def count_solve():
-            ctx.n_sparse_solves += 1
+    runtime = ParallelRuntime(
+        ctx.tracker, n_workers=ctx.n_workers, name="multi-solve"
+    )
+    try:
+        if not compressed:
+            # Algorithm 1: dense S, assembled column block by column block;
+            # panels solve concurrently, folds land in panel order
+            def consume(task, z):
+                col_lo, col_hi = task.payload
+                ctx.n_sparse_solves += 1
+                with ctx.timer.phase("schur_assembly"):
+                    container.subtract_block(
+                        z, all_rows, np.arange(col_lo, col_hi)
+                    )
 
-        sampler = CorrectionSampler(
-            mf, problem.a_sv, exploit_sparsity=config.exploit_sparse_rhs,
-            on_solve=count_solve,
-        )
-        rng = np.random.default_rng(config.seed)
-        with ctx.timer.phase("schur_compression"):
-            subtract_randomized_correction(
-                container.s, sampler, config.hierarchical_tol, rng,
-                problem.dtype,
-                start_rank=config.randomized_start_rank,
-                oversample=config.randomized_oversample,
+            runtime.run(
+                [
+                    panel_task(k, lo, min(n_s, lo + n_c))
+                    for k, lo in enumerate(range(0, n_s, n_c))
+                ],
+                consume,
             )
-            container._resync()
-    else:
-        # Algorithm 2: compressed S; inner n_c loop fills a dense Z_i of
-        # n_S columns, folded in by one compressed AXPY per outer block
-        n_s_block = min(config.n_s_block, n_s)
-        for lo in range(0, n_s, n_s_block):
-            hi = min(n_s, lo + n_s_block)
-            with ctx.tracker.borrow(
-                n_s * (hi - lo) * itemsize,
-                category="spmm_panel", label="Z_i block",
-            ):
-                z_i = np.empty((n_s, hi - lo), dtype=problem.dtype)
-                for jlo in range(lo, hi, n_c):
-                    jhi = min(hi, jlo + n_c)
-                    z_i[:, jlo - lo : jhi - lo] = solve_panel(jlo, jhi)
-                with ctx.timer.phase("schur_compression"):
-                    container.subtract_block(z_i, all_rows, np.arange(lo, hi))
-                del z_i
+        elif config.schur_assembly == "randomized":
+            # future-work variant (§VII): every low-rank block of S is built
+            # directly in compressed form by randomized sampling of the
+            # correction operator — no dense Z panel ever exists.  The
+            # sampling loop is adaptive (each rank doubling depends on the
+            # previous residual), so it stays on the caller thread.
+            from repro.core.randomized import (
+                CorrectionSampler,
+                subtract_randomized_correction,
+            )
 
-    with ctx.timer.phase("dense_factorization"):
-        container.factorize(ctx.tracker)
+            def count_solve():
+                ctx.n_sparse_solves += 1
+
+            sampler = CorrectionSampler(
+                mf, problem.a_sv, exploit_sparsity=config.exploit_sparse_rhs,
+                on_solve=count_solve,
+            )
+            rng = np.random.default_rng(config.seed)
+            with ctx.timer.phase("schur_compression"):
+                subtract_randomized_correction(
+                    container.s, sampler, config.hierarchical_tol, rng,
+                    problem.dtype,
+                    start_rank=config.randomized_start_rank,
+                    oversample=config.randomized_oversample,
+                )
+                container.resync()
+        else:
+            # Algorithm 2: compressed S; the inner n_c panels of each outer
+            # n_S block solve concurrently into a dense Z_i, folded in by
+            # one compressed AXPY per outer block (on the caller thread)
+            n_s_block = min(config.n_s_block, n_s)
+            for lo in range(0, n_s, n_s_block):
+                hi = min(n_s, lo + n_s_block)
+                with ctx.tracker.borrow(
+                    n_s * (hi - lo) * itemsize,
+                    category="spmm_panel", label="Z_i block",
+                ):
+                    z_i = np.empty((n_s, hi - lo), dtype=problem.dtype)
+
+                    def consume(task, z, z_i=z_i, lo=lo):
+                        col_lo, col_hi = task.payload
+                        ctx.n_sparse_solves += 1
+                        z_i[:, col_lo - lo: col_hi - lo] = z
+
+                    runtime.run(
+                        [
+                            panel_task(k, jlo, min(hi, jlo + n_c))
+                            for k, jlo in enumerate(range(lo, hi, n_c))
+                        ],
+                        consume,
+                    )
+                    with ctx.timer.phase("schur_compression"):
+                        container.subtract_block(
+                            z_i, all_rows, np.arange(lo, hi)
+                        )
+                    del z_i
+
+        with ctx.timer.phase("dense_factorization"):
+            container.factorize(ctx.tracker)
+    finally:
+        ctx.runtime_report = runtime.finalize(ctx.timer)
     return mf, container, sparse_factor_bytes
 
 

@@ -35,6 +35,16 @@ class SolveStats:
     sparse_factor_bytes: int = 0
     n_sparse_factorizations: int = 0
     n_sparse_solves: int = 0
+    #: Width of the parallel panel runtime that ran the Schur assembly
+    #: (1 = serial); phase totals are worker time, so they stay comparable
+    #: across worker counts.
+    n_workers: int = 1
+    #: Per-worker phase breakdown (``worker-N`` -> phase -> seconds) when
+    #: the assembly ran on the parallel runtime.
+    worker_phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Total time workers spent blocked in the scheduler (admission
+    #: control waiting for memory budget + ordered-admission turnstile).
+    scheduler_wait_seconds: float = 0.0
     params: Dict[str, object] = field(default_factory=dict)
 
     @property

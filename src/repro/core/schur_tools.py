@@ -44,10 +44,15 @@ class RunContext:
         self.timer = PhaseTimer()
         self.n_sparse_factorizations = 0
         self.n_sparse_solves = 0
+        self.n_workers = config.effective_n_workers
+        #: Filled by the assembly phase when it ran on the parallel
+        #: runtime (:mod:`repro.runtime`): per-worker phase breakdown.
+        self.runtime_report = None
 
     def stats(self, schur_bytes: int, sparse_factor_bytes: int) -> SolveStats:
         p = self.problem
         phases = self.timer.phases
+        report = self.runtime_report
         return SolveStats(
             algorithm=self.algorithm,
             coupling=self.config.coupling_name,
@@ -63,12 +68,18 @@ class RunContext:
             sparse_factor_bytes=sparse_factor_bytes,
             n_sparse_factorizations=self.n_sparse_factorizations,
             n_sparse_solves=self.n_sparse_solves,
+            n_workers=self.n_workers,
+            worker_phases=report.worker_phases if report is not None else {},
+            scheduler_wait_seconds=(
+                report.scheduler_wait_seconds if report is not None else 0.0
+            ),
             params={
                 "n_c": self.config.n_c,
                 "n_s_block": self.config.n_s_block,
                 "n_b": self.config.n_b,
                 "epsilon": self.config.epsilon,
                 "sparse_compression": self.config.sparse_compression,
+                "n_workers": self.n_workers,
             },
         )
 
@@ -159,7 +170,13 @@ class HodlrSchurContainer:
     def nbytes(self) -> int:
         return self._alloc.nbytes if self._alloc.live else 0
 
-    def _resync(self) -> None:
+    def resync(self) -> None:
+        """Re-read the compressed size into the tracked allocation.
+
+        Callers that mutate ``self.s`` directly (e.g. the randomized
+        assembly writing low-rank blocks in place) call this afterwards so
+        the memory accounting follows the recompressed structure.
+        """
         self._alloc.resize(self.s.nbytes())
 
     def subtract_block(self, z: np.ndarray, rows: np.ndarray,
@@ -167,14 +184,14 @@ class HodlrSchurContainer:
         """Compressed AXPY ``S[rows, cols] -= z`` with recompression."""
         self.s.axpy_dense(-1.0, z, rows, cols,
                           compressor=self.config.compressor)
-        self._resync()
+        self.resync()
 
     def add_block(self, x: np.ndarray, rows: np.ndarray,
                   cols: np.ndarray) -> None:
         """Compressed AXPY ``S[rows, cols] += x`` with recompression."""
         self.s.axpy_dense(1.0, x, rows, cols,
                           compressor=self.config.compressor)
-        self._resync()
+        self.resync()
 
     def factorize(self, tracker: MemoryTracker) -> None:
         # symmetric systems factor with hierarchical LDLᵀ (the paper's

@@ -7,10 +7,24 @@ The tracker is deliberately *logical*: it counts the bytes the algorithm
 needs, independently of interpreter overhead or allocator behaviour, which
 makes footprints deterministic and machine independent — exactly the
 quantities the paper's memory plots reason about.
+
+The tracker is **thread-safe**: every charge, release and resize happens
+under one internal condition variable, so the parallel runtime
+(:mod:`repro.runtime`) can share a single tracker between workers.  On
+top of the raising :meth:`allocate` the tracker offers a *blocking*
+:meth:`acquire` used for budget-aware admission control: instead of
+raising :class:`MemoryLimitExceeded` when the limit is reached while
+other acquired allocations are outstanding, the caller sleeps until
+enough budget is released.  An acquisition may also *reserve headroom* —
+bytes the holder will charge later through nested allocations (solver
+workspaces) — which gates further admissions without being charged
+itself.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -36,13 +50,17 @@ def fmt_bytes(nbytes: float) -> str:
 class Allocation:
     """Handle for one tracked allocation.  Free exactly once via :meth:`free`."""
 
-    __slots__ = ("tracker", "nbytes", "category", "label", "_live")
+    __slots__ = ("tracker", "nbytes", "category", "label", "_live",
+                 "_headroom", "_admitted")
 
-    def __init__(self, tracker: "MemoryTracker", nbytes: int, category: str, label: str):
+    def __init__(self, tracker: "MemoryTracker", nbytes: int, category: str,
+                 label: str, headroom: int = 0, admitted: bool = False):
         self.tracker = tracker
         self.nbytes = int(nbytes)
         self.category = category
         self.label = label
+        self._headroom = int(headroom)
+        self._admitted = admitted
         self._live = True
 
     @property
@@ -59,12 +77,7 @@ class Allocation:
         """Adjust the tracked size in place (e.g. after recompression)."""
         if not self._live:
             raise RuntimeError("cannot resize a freed allocation")
-        delta = int(new_nbytes) - self.nbytes
-        if delta > 0:
-            self.tracker._charge(delta, self.category, self.label)
-        else:
-            self.tracker._uncharge(-delta, self.category)
-        self.nbytes = int(new_nbytes)
+        self.tracker._resize(self, int(new_nbytes))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "live" if self._live else "freed"
@@ -79,7 +92,8 @@ class MemoryTracker:
     limit_bytes:
         When set, an allocation pushing usage above the limit raises
         :class:`MemoryLimitExceeded` — the reproduction analog of the
-        paper's out-of-memory failures.
+        paper's out-of-memory failures.  Blocking :meth:`acquire` calls
+        wait instead of raising while other acquisitions are outstanding.
     name:
         Cosmetic name used in reports.
     """
@@ -94,37 +108,130 @@ class MemoryTracker:
         self._by_category: Dict[str, int] = {}
         self._peak_by_category: Dict[str, int] = {}
         self._n_allocations = 0
+        # all bookkeeping happens under this condition variable; the RLock
+        # lets acquire() call _charge() while already holding it
+        self._cond = threading.Condition(threading.RLock())
+        # budget-aware admission state: count of live acquire() handles and
+        # the headroom bytes they reserved for nested charges
+        self._n_admitted = 0
+        self._reserved_headroom = 0
+        self._wait_seconds = 0.0
 
     # -- internal bookkeeping ------------------------------------------------
     def _charge(self, nbytes: int, category: str, label: str) -> None:
         if nbytes < 0:
             raise ValueError("allocation size must be non-negative")
-        if (
-            self.limit_bytes is not None
-            and self._in_use + nbytes > self.limit_bytes
-        ):
-            raise MemoryLimitExceeded(nbytes, self._in_use, self.limit_bytes, label)
-        self._in_use += nbytes
-        self._peak = max(self._peak, self._in_use)
-        cur = self._by_category.get(category, 0) + nbytes
-        self._by_category[category] = cur
-        self._peak_by_category[category] = max(
-            self._peak_by_category.get(category, 0), cur
-        )
+        with self._cond:
+            if (
+                self.limit_bytes is not None
+                and self._in_use + nbytes > self.limit_bytes
+            ):
+                raise MemoryLimitExceeded(
+                    nbytes, self._in_use, self.limit_bytes, label
+                )
+            self._in_use += nbytes
+            self._peak = max(self._peak, self._in_use)
+            cur = self._by_category.get(category, 0) + nbytes
+            self._by_category[category] = cur
+            self._peak_by_category[category] = max(
+                self._peak_by_category.get(category, 0), cur
+            )
 
     def _uncharge(self, nbytes: int, category: str) -> None:
-        self._in_use -= nbytes
-        self._by_category[category] = self._by_category.get(category, 0) - nbytes
+        with self._cond:
+            new_total = self._in_use - nbytes
+            new_cat = self._by_category.get(category, 0) - nbytes
+            if new_total < 0 or new_cat < 0:
+                raise AssertionError(
+                    f"memory accounting underflow: releasing {nbytes} B from "
+                    f"category {category!r} would leave total={new_total} B, "
+                    f"category={new_cat} B (double free or a charge recorded "
+                    f"under a different category)"
+                )
+            self._in_use = new_total
+            self._by_category[category] = new_cat
+            self._cond.notify_all()
 
     def _release(self, alloc: Allocation) -> None:
-        self._uncharge(alloc.nbytes, alloc.category)
+        with self._cond:
+            self._uncharge(alloc.nbytes, alloc.category)
+            if alloc._admitted:
+                self._n_admitted -= 1
+                self._reserved_headroom -= alloc._headroom
+            self._cond.notify_all()
+
+    def _resize(self, alloc: Allocation, new_nbytes: int) -> None:
+        with self._cond:
+            delta = new_nbytes - alloc.nbytes
+            if delta > 0:
+                self._charge(delta, alloc.category, alloc.label)
+            elif delta < 0:
+                self._uncharge(-delta, alloc.category)
+            alloc.nbytes = new_nbytes
 
     # -- public API ----------------------------------------------------------
     def allocate(self, nbytes: int, category: str = "general", label: str = "") -> Allocation:
         """Register ``nbytes`` of logical memory; returns a handle to free."""
-        self._charge(int(nbytes), category, label)
-        self._n_allocations += 1
+        with self._cond:
+            self._charge(int(nbytes), category, label)
+            self._n_allocations += 1
         return Allocation(self, int(nbytes), category, label)
+
+    def acquire(
+        self,
+        nbytes: int,
+        category: str = "workspace",
+        label: str = "",
+        headroom: int = 0,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Allocation:
+        """Admission-controlled allocation for parallel workers.
+
+        Charges ``nbytes`` like :meth:`allocate`, and additionally
+        *reserves* ``headroom`` bytes for the nested charges the holder
+        will make (solver workspaces); the reservation gates further
+        admissions but is never itself charged.
+
+        While **other** acquisitions are outstanding and the limit would
+        be exceeded, the call blocks until budget frees up instead of
+        raising — so a pool of workers degrades to (partial) serialisation
+        under a tight limit rather than failing.  When no acquisition is
+        outstanding the call proceeds unconditionally, reproducing exactly
+        the serial raising semantics: a task too large for the limit on
+        its own still raises :class:`MemoryLimitExceeded`.
+        """
+        nbytes = int(nbytes)
+        headroom = int(headroom)
+        if headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        with self._cond:
+            while (
+                self.limit_bytes is not None
+                and self._n_admitted > 0
+                and (
+                    self._in_use + self._reserved_headroom
+                    + nbytes + headroom > self.limit_bytes
+                )
+            ):
+                if not block:
+                    raise MemoryLimitExceeded(
+                        nbytes, self._in_use, self.limit_bytes, label
+                    )
+                t0 = time.perf_counter()
+                signalled = self._cond.wait(timeout)
+                self._wait_seconds += time.perf_counter() - t0
+                if not signalled and timeout is not None:
+                    raise MemoryLimitExceeded(
+                        nbytes, self._in_use, self.limit_bytes,
+                        f"{label} (admission timed out after {timeout}s)",
+                    )
+            self._charge(nbytes, category, label)
+            self._n_allocations += 1
+            self._n_admitted += 1
+            self._reserved_headroom += headroom
+        return Allocation(self, nbytes, category, label,
+                          headroom=headroom, admitted=True)
 
     def track_array(self, array: np.ndarray, category: str = "general", label: str = "") -> Allocation:
         """Register an ndarray's buffer size."""
@@ -153,6 +260,11 @@ class MemoryTracker:
     def n_allocations(self) -> int:
         return self._n_allocations
 
+    @property
+    def admission_wait_seconds(self) -> float:
+        """Total time :meth:`acquire` callers spent blocked on the limit."""
+        return self._wait_seconds
+
     def category_in_use(self, category: str) -> int:
         return self._by_category.get(category, 0)
 
@@ -162,30 +274,34 @@ class MemoryTracker:
     @property
     def categories(self) -> Dict[str, int]:
         """Copy of the current per-category usage (non-zero entries)."""
-        return {k: v for k, v in self._by_category.items() if v != 0}
+        with self._cond:
+            return {k: v for k, v in self._by_category.items() if v != 0}
 
     @property
     def peak_categories(self) -> Dict[str, int]:
         """Copy of the per-category peaks."""
-        return dict(self._peak_by_category)
+        with self._cond:
+            return dict(self._peak_by_category)
 
     def reset_peak(self) -> None:
         """Reset peaks to the current usage."""
-        self._peak = self._in_use
-        self._peak_by_category = {
-            k: v for k, v in self._by_category.items() if v != 0
-        }
+        with self._cond:
+            self._peak = self._in_use
+            self._peak_by_category = {
+                k: v for k, v in self._by_category.items() if v != 0
+            }
 
     def assert_all_freed(self) -> None:
         """Raise ``AssertionError`` if any tracked bytes are still live.
 
         Used by the test suite to detect accounting leaks in solvers.
         """
-        if self._in_use != 0:
-            leaks = {k: v for k, v in self._by_category.items() if v != 0}
-            raise AssertionError(
-                f"memory tracker {self.name!r} still has {self._in_use} B live: {leaks}"
-            )
+        with self._cond:
+            if self._in_use != 0:
+                leaks = {k: v for k, v in self._by_category.items() if v != 0}
+                raise AssertionError(
+                    f"memory tracker {self.name!r} still has {self._in_use} B live: {leaks}"
+                )
 
     def report(self) -> str:
         """Multi-line human-readable usage report."""

@@ -32,6 +32,7 @@ from repro.runner.reporting import (
     render_fig12,
     render_fig13,
     render_table2,
+    render_worker_breakdown,
 )
 
 __all__ = [
@@ -52,4 +53,5 @@ __all__ = [
     "render_fig12",
     "render_fig13",
     "render_table2",
+    "render_worker_breakdown",
 ]

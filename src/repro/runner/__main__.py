@@ -11,11 +11,15 @@ Regenerate any of the paper's tables and figures from the shell::
 
 ``fig10`` accepts ``--full`` for the complete configuration grid and size
 sweep (slow: the multi-factorization cells at large N take minutes).
+``--n-workers K`` runs every solve on the K-wide parallel panel runtime
+(equivalent to exporting ``REPRO_N_WORKERS=K``); results are bit-identical
+to the serial runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.runner import experiments, reporting
@@ -56,6 +60,11 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures "
                     "(scaled reproduction).",
     )
+    parser.add_argument(
+        "--n-workers", type=int, default=None, metavar="K",
+        help="width of the parallel panel runtime for every solve "
+             "(default: $REPRO_N_WORKERS or 1; results are bit-identical)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table I: unknown splits")
@@ -77,6 +86,14 @@ def main(argv=None) -> int:
     sub.add_parser("all", help="everything except the slow table2")
 
     args = parser.parse_args(argv)
+    if args.n_workers is not None:
+        if args.n_workers < 1:
+            parser.error("--n-workers must be >= 1")
+        # the experiment grid builds many SolverConfigs internally; the
+        # environment default reaches all of them without re-plumbing
+        from repro.runtime.scheduler import N_WORKERS_ENV
+
+        os.environ[N_WORKERS_ENV] = str(args.n_workers)
     commands = {
         "table1": _cmd_table1,
         "fig10": _cmd_fig10,

@@ -9,7 +9,7 @@ and EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.memory.tracker import fmt_bytes
 from repro.runner.paper_reference import FIG10_MAX_UNKNOWNS
@@ -159,6 +159,42 @@ def render_fig13(rows: List[Dict]) -> str:
         body,
         title="Figure 13 (scaled): multi-factorization trade-off "
               "(paper: more blocks = less memory, more refactorizations)",
+    )
+
+
+def render_worker_breakdown(stats) -> str:
+    """Per-worker phase times of a parallel run (one row per worker).
+
+    ``stats`` is a :class:`repro.core.result.SolveStats` whose Schur
+    assembly ran on the parallel runtime; serial runs render a one-line
+    note instead.  The ``scheduler_wait`` column separates time blocked in
+    admission control (waiting for memory budget) from useful work —
+    the quantity to watch when a tight ``memory_limit`` serialises an
+    otherwise parallel run.
+    """
+    worker_phases: Dict[str, Dict[str, float]] = stats.worker_phases
+    if stats.n_workers <= 1 or not worker_phases:
+        return f"{stats.algorithm}: serial run (n_workers=1), no breakdown"
+    phase_names = sorted(
+        {name for phases in worker_phases.values() for name in phases}
+        - {"scheduler_wait"}
+    )
+    body = []
+    for worker in sorted(worker_phases):
+        phases = worker_phases[worker]
+        body.append(
+            [worker]
+            + [f"{phases.get(name, 0.0):.3f}s" for name in phase_names]
+            + [f"{phases.get('scheduler_wait', 0.0):.3f}s"]
+        )
+    return render_table(
+        ["worker"] + phase_names + ["scheduler_wait"],
+        body,
+        title=(
+            f"{stats.algorithm}: per-worker phase times "
+            f"(n_workers={stats.n_workers}, total scheduler wait "
+            f"{stats.scheduler_wait_seconds:.3f}s)"
+        ),
     )
 
 

@@ -327,6 +327,16 @@ class MultifrontalFactorization:
     def n_interior(self) -> int:
         return self.symbolic.n_interior
 
+    def solve_workspace_bytes(self, n_rhs: int) -> int:
+        """Logical bytes :meth:`solve` borrows for ``n_rhs`` dense columns.
+
+        The parallel runtime reserves this as admission headroom so that
+        concurrently admitted panel solves cannot push the tracker past
+        its limit through their nested workspace charges.
+        """
+        itemsize = np.dtype(self.dtype).itemsize
+        return int(self.symbolic.n_full) * int(n_rhs) * itemsize
+
     def take_schur(self) -> Tuple[np.ndarray, object]:
         """Transfer ownership of the dense Schur block (and its allocation)."""
         if self.schur is None:

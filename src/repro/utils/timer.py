@@ -8,6 +8,7 @@ named phases; :class:`Timer` is a bare context-manager stopwatch.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
@@ -51,11 +52,16 @@ class PhaseTimer:
 
     The same phase may be entered many times (e.g. one sparse solve per
     column block in multi-solve); times accumulate.  Nested phases are
-    allowed and each accounts its own wall time independently.
+    allowed and each accounts its own wall time independently.  The
+    accumulator is lock-protected, so phases may be entered concurrently
+    from several threads (each thread accounts its own wall time; a phase
+    active on ``k`` workers simultaneously accumulates ``k`` seconds per
+    second, i.e. the total is *worker time*, not wall time).
     """
 
     def __init__(self) -> None:
         self._acc: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -64,33 +70,37 @@ class PhaseTimer:
         try:
             yield
         finally:
-            self._acc[name] = self._acc.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._acc[name] = self._acc.get(name, 0.0) + elapsed
 
     def add(self, name: str, seconds: float) -> None:
         """Manually add ``seconds`` to phase ``name``."""
         if seconds < 0:
             raise ValueError("cannot add negative time")
-        self._acc[name] = self._acc.get(name, 0.0) + float(seconds)
+        with self._lock:
+            self._acc[name] = self._acc.get(name, 0.0) + float(seconds)
 
     def get(self, name: str) -> float:
         """Accumulated seconds for ``name`` (0.0 if never entered)."""
-        return self._acc.get(name, 0.0)
+        with self._lock:
+            return self._acc.get(name, 0.0)
 
     @property
     def phases(self) -> Dict[str, float]:
         """A copy of the accumulated phase -> seconds mapping."""
-        return dict(self._acc)
+        with self._lock:
+            return dict(self._acc)
 
     @property
     def total(self) -> float:
         """Sum of all phase times (nested phases count twice by design)."""
-        return sum(self._acc.values())
+        with self._lock:
+            return sum(self._acc.values())
 
     def merge(self, other: "PhaseTimer") -> None:
         """Fold another timer's accumulated phases into this one."""
-        for name, seconds in other._acc.items():
+        for name, seconds in other.phases.items():
             self.add(name, seconds)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

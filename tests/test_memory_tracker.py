@@ -214,3 +214,129 @@ def test_property_in_use_equals_sum_of_live(ops):
     for a in live:
         a.free()
     t.assert_all_freed()
+
+
+class TestAcquire:
+    """Budget-aware admission control (the parallel runtime's allocator)."""
+
+    def test_acquire_behaves_like_allocate_without_contention(self):
+        t = MemoryTracker(limit_bytes=100)
+        a = t.acquire(60, category="panel")
+        assert t.in_use == 60
+        assert t.category_in_use("panel") == 60
+        a.free()
+        t.assert_all_freed()
+
+    def test_first_acquisition_raises_like_serial(self):
+        # with no other acquisition outstanding there is nothing to wait
+        # for: an oversized request must raise, exactly like allocate()
+        t = MemoryTracker(limit_bytes=100)
+        with pytest.raises(MemoryLimitExceeded):
+            t.acquire(150)
+        t.assert_all_freed()
+
+    def test_acquire_blocks_until_budget_frees(self):
+        import threading
+
+        t = MemoryTracker(limit_bytes=100)
+        first = t.acquire(80)
+        admitted = threading.Event()
+
+        def second():
+            b = t.acquire(80)
+            admitted.set()
+            b.free()
+
+        worker = threading.Thread(target=second)
+        worker.start()
+        assert not admitted.wait(0.05)  # blocked while `first` holds 80
+        first.free()
+        assert admitted.wait(2.0)
+        worker.join()
+        t.assert_all_freed()
+        assert t.peak <= 100
+        assert t.admission_wait_seconds > 0.0
+
+    def test_nonblocking_acquire_raises_under_contention(self):
+        t = MemoryTracker(limit_bytes=100)
+        first = t.acquire(80)
+        with pytest.raises(MemoryLimitExceeded):
+            t.acquire(80, block=False)
+        first.free()
+        t.assert_all_freed()
+
+    def test_acquire_timeout_raises(self):
+        t = MemoryTracker(limit_bytes=100)
+        first = t.acquire(80)
+        with pytest.raises(MemoryLimitExceeded, match="timed out"):
+            t.acquire(80, timeout=0.01)
+        first.free()
+        t.assert_all_freed()
+
+    def test_headroom_gates_admission_without_being_charged(self):
+        t = MemoryTracker(limit_bytes=100)
+        a = t.acquire(30, headroom=50)
+        assert t.in_use == 30  # the reservation itself is never charged
+        # 30 used + 50 reserved + 30 requested > 100: contended
+        with pytest.raises(MemoryLimitExceeded):
+            t.acquire(30, block=False)
+        # ...but the holder's own nested charge fits inside the reservation
+        with t.borrow(50):
+            assert t.in_use == 80
+        a.free()
+        t.assert_all_freed()
+
+    def test_negative_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryTracker().acquire(10, headroom=-1)
+
+    def test_concurrent_acquire_free_stays_consistent(self):
+        import threading
+
+        t = MemoryTracker(limit_bytes=1000)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(50):
+                    a = t.acquire(1 + (seed * 31 + i) % 200)
+                    a.resize(a.nbytes // 2)
+                    a.free()
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert not errors
+        assert t.peak <= 1000
+        t.assert_all_freed()
+
+
+class TestUnderflowGuard:
+    def test_release_more_than_charged_raises(self):
+        t = MemoryTracker()
+        t.allocate(100, category="a")
+        with pytest.raises(AssertionError, match="underflow"):
+            t._uncharge(150, "a")
+
+    def test_category_mismatch_raises(self):
+        # a charge recorded under one category must not be released
+        # from another, even when the total would stay non-negative
+        t = MemoryTracker()
+        t.allocate(100, category="a")
+        with pytest.raises(AssertionError, match="underflow"):
+            t._uncharge(50, "b")
+
+    def test_failed_release_leaves_state_untouched(self):
+        t = MemoryTracker()
+        a = t.allocate(100, category="a")
+        with pytest.raises(AssertionError):
+            t._uncharge(150, "a")
+        assert t.in_use == 100
+        assert t.category_in_use("a") == 100
+        a.free()
+        t.assert_all_freed()

@@ -68,7 +68,10 @@ class TestSolvers:
     def test_single_halves_memory(self):
         double = generate_pipe_case(2_000, precision="double")
         single = generate_pipe_case(2_000, precision="single")
-        cfg = SolverConfig(n_c=64)
+        # peaks under the parallel runtime depend on how many panels are
+        # concurrently live at the peak instant; the exact-ratio claim is
+        # a statement about serial execution
+        cfg = SolverConfig(n_c=64, n_workers=1)
         peak_d = solve_coupled(double, "multi_solve", cfg).stats.peak_bytes
         peak_s = solve_coupled(single, "multi_solve", cfg).stats.peak_bytes
         assert peak_s == pytest.approx(peak_d / 2, rel=0.1)

@@ -84,6 +84,35 @@ class TestPhaseTimer:
                 raise ValueError
         assert "boom" in pt.phases
 
+    def test_concurrent_phases_accumulate_exactly(self):
+        # the runtime shares no timer between workers, but a single timer
+        # must still survive concurrent use (merge at finalize, nested
+        # phases on the caller thread while workers report)
+        import threading
+
+        pt = PhaseTimer()
+        n_threads, n_iters = 4, 200
+
+        def hammer(name):
+            for _ in range(n_iters):
+                with pt.phase(name):
+                    pass
+                pt.add("manual", 0.001)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"p{i % 2}",))
+            for i in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        # add() under a lock: no lost read-modify-write updates
+        assert pt.get("manual") == pytest.approx(
+            n_threads * n_iters * 0.001
+        )
+        assert set(pt.phases) >= {"p0", "p1", "manual"}
+
 
 class TestDtypes:
     def test_is_complex_dtype(self):
