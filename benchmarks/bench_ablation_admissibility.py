@@ -7,12 +7,10 @@ keeps far-field ranks bounded (at the cost of dense near-field blocks),
 HODLR's top off-diagonal ranks grow with n.
 """
 
-import pytest
 
 from repro.fembem.bem import make_surface_operator
 from repro.fembem.mesh import box_surface_points
 from repro.hmatrix import build_cluster_tree, build_hodlr, build_strong_hmatrix
-from repro.memory import fmt_bytes
 from repro.runner.reporting import render_table
 
 from bench_utils import write_result

@@ -6,7 +6,6 @@ in the block size, ACA is cheaper but heuristic.  This bench compares
 them inside the full compressed multi-solve.
 """
 
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 from repro.memory import fmt_bytes

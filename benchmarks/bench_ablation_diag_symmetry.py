@@ -9,7 +9,6 @@ factor storage a Schur API with a symmetric mode would save there
 faithful to the paper's constraint).
 """
 
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 from repro.memory import fmt_bytes

@@ -9,7 +9,6 @@ size and factorization time.
 import time
 
 import numpy as np
-import pytest
 
 from repro.memory import MemoryTracker, fmt_bytes
 from repro.sparse import SparseSolver

@@ -8,7 +8,6 @@ quantifies the trade: the randomized path never materialises a dense
 much thinner — sparse solves.
 """
 
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 from repro.memory import fmt_bytes

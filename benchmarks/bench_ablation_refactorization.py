@@ -10,7 +10,6 @@ single factorization) — i.e. what a Schur API able to reuse factors would
 cost.
 """
 
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 from repro.runner.reporting import render_table

@@ -7,7 +7,6 @@ per step).  The paper runs without refinement; this bench shows the
 trade the production companion buys.
 """
 
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 from repro.memory import fmt_bytes

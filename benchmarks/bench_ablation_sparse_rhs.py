@@ -7,10 +7,8 @@ in the forward sweep; the paper always turns this on.  This bench measures
 what it saves.
 """
 
-import time
 
 import numpy as np
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 from repro.runner.reporting import render_table

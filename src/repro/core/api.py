@@ -58,5 +58,5 @@ def solve_coupled(
     except KeyError:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
-        )
+        ) from None
     return fn(problem, config)

@@ -30,7 +30,7 @@ directly onto the parameters the paper studies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.memory.tracker import MemoryTracker

@@ -81,7 +81,7 @@ class CoupledFactorization:
             raise ConfigurationError(
                 f"unknown algorithm {algorithm!r}; "
                 f"available: {sorted(_ASSEMBLERS)}"
-            )
+            ) from None
         self.problem = problem
         self.config = config
         self.algorithm = algorithm

@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.hmatrix.hmatrix import HNode
 from repro.hmatrix.rk import RkMatrix
-from repro.utils.errors import NumericalError
 
 
 def _gaussian(rng: np.random.Generator, shape, dtype) -> np.ndarray:

@@ -98,8 +98,10 @@ class DenseSchurContainer:
             n * n * itemsize, category="schur_store", label="dense Schur S"
         )
         if start_from_a_ss:
+            # schur-ok: this IS the sanctioned uncompressed container (SPIDO)
             self.s = np.array(problem.a_ss_op.to_dense(), dtype=problem.dtype)
         else:
+            # schur-ok: tracked above via tracker.allocate(schur_store)
             self.s = np.zeros((n, n), dtype=problem.dtype)
         self._fact = None
 

@@ -51,7 +51,7 @@ def blocked_lu(
     check_square(a, "a")
     lu = a if overwrite and a.flags.writeable else np.array(a, copy=True)
     if not np.issubdtype(lu.dtype, np.inexact):
-        lu = lu.astype(np.float64)
+        lu = lu.astype(np.float64)  # dtype-ok: guard only admits integer input
     n = lu.shape[0]
     piv = np.arange(n, dtype=np.intp)
 
@@ -62,7 +62,9 @@ def blocked_lu(
         try:
             panel_lu, panel_piv = _lapack_lu_factor(panel, check_finite=False)
         except Exception as exc:  # LAPACK raises LinAlgError on breakdown
-            raise SingularMatrixError(f"LU panel at column {k} failed: {exc}")
+            raise SingularMatrixError(
+                f"LU panel at column {k} failed: {exc}"
+            ) from exc
         if np.any(np.diag(panel_lu)[: min(panel_lu.shape)] == 0):
             raise SingularMatrixError(f"zero pivot in LU panel at column {k}")
         lu[k:, k : k + kb] = panel_lu

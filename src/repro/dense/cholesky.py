@@ -42,7 +42,7 @@ def blocked_cholesky(a: np.ndarray, block_size: int = DEFAULT_BLOCK) -> np.ndarr
         except np.linalg.LinAlgError as exc:
             raise SingularMatrixError(
                 f"Cholesky panel at row {k} not positive definite: {exc}"
-            )
+            ) from exc
         l[k : k + kb, k : k + kb] = lk
         if k + kb < n:
             # L21 = A21 L11^{-H}

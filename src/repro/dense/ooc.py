@@ -201,5 +201,9 @@ class OutOfCoreDense:
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
             self.close()
-        except Exception:
+        except (OSError, BufferError, AttributeError):
+            # mmap/file teardown can race interpreter shutdown: the mmap may
+            # hold exported pointers (BufferError), the file may be gone
+            # (OSError), or module globals may already be cleared
+            # (AttributeError).  Anything else is a real bug — let it surface.
             pass

@@ -19,7 +19,6 @@ relative error can be measured (Fig. 11).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -131,6 +130,7 @@ class CoupledProblem:
     # -- dense access ----------------------------------------------------------
     def a_ss_dense(self) -> np.ndarray:
         """Materialise the dense surface block (caller owns the memory)."""
+        # schur-ok: explicit accessor for the uncompressed reference paths
         return self.a_ss_op.to_dense()
 
     # -- quality metrics --------------------------------------------------------

@@ -14,7 +14,7 @@ are deterministic given their parameters and a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -141,7 +141,7 @@ def box_surface_points(
     counts = np.maximum(1, np.floor(share * n_points).astype(int))
 
     chunks = []
-    for (axis, value, (au, av), (eu, ev)), count in zip(faces, counts):
+    for (axis, value, (au, av), (eu, ev)), count in zip(faces, counts, strict=True):
         aspect = eu / ev
         n_u = max(1, int(round(np.sqrt(count * aspect))))
         n_v = max(1, int(np.ceil(count / n_u)))

@@ -80,7 +80,7 @@ def aca(
 
     def residual_col(j: int) -> np.ndarray:
         c = np.array(col_fn(j), copy=True)
-        for uk, vk in zip(us, vs):
+        for uk, vk in zip(us, vs, strict=True):
             c -= vk[j] * uk
         return c
 
@@ -95,7 +95,7 @@ def aca(
                 row_choices[list(used_rows)] = -1.0
             i = int(np.argmax(row_choices))
             r = np.array(row_fn(i), copy=True)
-            for uk, vk in zip(us, vs):
+            for uk, vk in zip(us, vs, strict=True):
                 r -= uk[i] * vk
             pivot = r[j]
             if pivot == 0:
@@ -104,7 +104,7 @@ def aca(
             used_rows.add(i)
             # residual row i
             r = np.array(row_fn(i), copy=True)
-            for uk, vk in zip(us, vs):
+            for uk, vk in zip(us, vs, strict=True):
                 r -= uk[i] * vk
             # pivot column: largest residual entry among unused columns
             r_search = r.copy()
@@ -128,7 +128,7 @@ def aca(
         nv = float(np.linalg.norm(v_new))
         cross2 = (nu * nv) ** 2
         inner = 0.0
-        for uk, vk in zip(us, vs):
+        for uk, vk in zip(us, vs, strict=True):
             inner += 2.0 * abs(np.vdot(uk, u_new)) * abs(np.vdot(vk, v_new))
         norm2_est += cross2 + inner
         us.append(u_new)

@@ -9,7 +9,7 @@ the invariant all block operations rely on.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List
 
 import numpy as np
 

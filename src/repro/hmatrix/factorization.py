@@ -96,7 +96,7 @@ class HLUFactorization:
             except np.linalg.LinAlgError as exc:
                 raise SingularMatrixError(
                     f"H-LU leaf [{node.start}, {node.stop}) singular: {exc}"
-                )
+                ) from exc
             if np.any(np.diag(out.lu) == 0):
                 raise SingularMatrixError(
                     f"zero pivot in H-LU leaf [{node.start}, {node.stop})"

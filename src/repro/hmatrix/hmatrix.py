@@ -20,7 +20,7 @@ everything lives in the cluster-permuted ordering.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

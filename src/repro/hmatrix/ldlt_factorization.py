@@ -98,7 +98,7 @@ class HLDLTFactorization:
             except SingularMatrixError as exc:
                 raise SingularMatrixError(
                     f"H-LDLT leaf [{node.start}, {node.stop}) failed: {exc}"
-                )
+                ) from exc
             out.l = l
             self.d[node.start : node.stop] = dvec
             return out

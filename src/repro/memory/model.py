@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, Tuple
+from typing import Any, Callable, Dict, Iterable, Tuple
 
 from repro.utils.errors import ConfigurationError
 
@@ -41,7 +41,7 @@ class ProblemDims:
     n_fem: int
     n_bem: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_fem + self.n_bem != self.n_total:
             raise ConfigurationError(
                 f"n_fem + n_bem must equal n_total "
@@ -212,7 +212,8 @@ class CouplingMemoryModel:
                     comp[f"disk:{key}"] = comp.pop(key)
         return comp
 
-    def peak_bytes(self, algorithm: str, dims: ProblemDims, **params) -> float:
+    def peak_bytes(self, algorithm: str, dims: ProblemDims,
+                   **params: Any) -> float:
         """Total predicted *resident* peak for ``algorithm`` on ``dims``
         (``disk:``-prefixed components do not count against RAM)."""
         return sum(
@@ -237,7 +238,7 @@ class CouplingMemoryModel:
         hodlr_samples:
             Pairs ``(n_bem, measured_hodlr_bytes)``.
         """
-        updates = {}
+        updates: Dict[str, float] = {}
         factor_samples = list(factor_samples)
         if factor_samples:
             ratio = self.blr_ratio if self.sparse_compression else 1.0
@@ -269,7 +270,7 @@ def predict_max_unknowns(
     dims_fn: Callable[[int], ProblemDims] = paper_pipe_dims,
     n_lo: int = 10_000,
     n_hi: int = 1_000_000_000,
-    **params,
+    **params: Any,
 ) -> int:
     """Largest ``n_total`` whose predicted peak fits under ``limit_bytes``.
 

@@ -54,7 +54,7 @@ class Allocation:
                  "_headroom", "_admitted")
 
     def __init__(self, tracker: "MemoryTracker", nbytes: int, category: str,
-                 label: str, headroom: int = 0, admitted: bool = False):
+                 label: str, headroom: int = 0, admitted: bool = False) -> None:
         self.tracker = tracker
         self.nbytes = int(nbytes)
         self.category = category
@@ -103,19 +103,19 @@ class MemoryTracker:
             raise ValueError("limit_bytes must be positive or None")
         self.name = name
         self.limit_bytes = limit_bytes
-        self._in_use = 0
-        self._peak = 0
-        self._by_category: Dict[str, int] = {}
-        self._peak_by_category: Dict[str, int] = {}
-        self._n_allocations = 0
+        self._in_use = 0  # guarded-by: _cond
+        self._peak = 0  # guarded-by: _cond
+        self._by_category: Dict[str, int] = {}  # guarded-by: _cond
+        self._peak_by_category: Dict[str, int] = {}  # guarded-by: _cond
+        self._n_allocations = 0  # guarded-by: _cond
         # all bookkeeping happens under this condition variable; the RLock
         # lets acquire() call _charge() while already holding it
         self._cond = threading.Condition(threading.RLock())
         # budget-aware admission state: count of live acquire() handles and
         # the headroom bytes they reserved for nested charges
-        self._n_admitted = 0
-        self._reserved_headroom = 0
-        self._wait_seconds = 0.0
+        self._n_admitted = 0  # guarded-by: _cond
+        self._reserved_headroom = 0  # guarded-by: _cond
+        self._wait_seconds = 0.0  # guarded-by: _cond
 
     # -- internal bookkeeping ------------------------------------------------
     def _charge(self, nbytes: int, category: str, label: str) -> None:
@@ -249,27 +249,33 @@ class MemoryTracker:
     @property
     def in_use(self) -> int:
         """Currently tracked bytes."""
-        return self._in_use
+        with self._cond:
+            return self._in_use
 
     @property
     def peak(self) -> int:
         """High-water mark of tracked bytes since creation / last reset."""
-        return self._peak
+        with self._cond:
+            return self._peak
 
     @property
     def n_allocations(self) -> int:
-        return self._n_allocations
+        with self._cond:
+            return self._n_allocations
 
     @property
     def admission_wait_seconds(self) -> float:
         """Total time :meth:`acquire` callers spent blocked on the limit."""
-        return self._wait_seconds
+        with self._cond:
+            return self._wait_seconds
 
     def category_in_use(self, category: str) -> int:
-        return self._by_category.get(category, 0)
+        with self._cond:
+            return self._by_category.get(category, 0)
 
     def category_peak(self, category: str) -> int:
-        return self._peak_by_category.get(category, 0)
+        with self._cond:
+            return self._peak_by_category.get(category, 0)
 
     @property
     def categories(self) -> Dict[str, int]:
@@ -305,25 +311,28 @@ class MemoryTracker:
 
     def report(self) -> str:
         """Multi-line human-readable usage report."""
-        lines = [
-            f"MemoryTracker {self.name!r}: in use {fmt_bytes(self._in_use)}, "
-            f"peak {fmt_bytes(self._peak)}"
-            + (
-                f", limit {fmt_bytes(self.limit_bytes)}"
-                if self.limit_bytes is not None
-                else ""
-            )
-        ]
-        for category in sorted(self._peak_by_category):
-            lines.append(
-                f"  {category:<24} peak {fmt_bytes(self._peak_by_category[category]):>12}"
-                f"  now {fmt_bytes(self._by_category.get(category, 0)):>12}"
-            )
-        return "\n".join(lines)
+        with self._cond:
+            lines = [
+                f"MemoryTracker {self.name!r}: in use {fmt_bytes(self._in_use)}, "
+                f"peak {fmt_bytes(self._peak)}"
+                + (
+                    f", limit {fmt_bytes(self.limit_bytes)}"
+                    if self.limit_bytes is not None
+                    else ""
+                )
+            ]
+            for category in sorted(self._peak_by_category):
+                lines.append(
+                    f"  {category:<24} peak"
+                    f" {fmt_bytes(self._peak_by_category[category]):>12}"
+                    f"  now {fmt_bytes(self._by_category.get(category, 0)):>12}"
+                )
+            return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"MemoryTracker(in_use={fmt_bytes(self._in_use)}, "
-            f"peak={fmt_bytes(self._peak)}, limit="
-            f"{fmt_bytes(self.limit_bytes) if self.limit_bytes else None})"
-        )
+        with self._cond:
+            return (
+                f"MemoryTracker(in_use={fmt_bytes(self._in_use)}, "
+                f"peak={fmt_bytes(self._peak)}, limit="
+                f"{fmt_bytes(self.limit_bytes) if self.limit_bytes else None})"
+            )

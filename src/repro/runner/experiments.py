@@ -19,7 +19,6 @@ from repro.runner import workloads
 from repro.runner.workloads import (
     INDUSTRIAL_SIZE,
     PIPE_STUDY_SIZES,
-    SCALE_FACTOR,
     TABLE1_SIZES,
     fig10_config_grid,
     fig12_nc_sweep,
@@ -29,14 +28,14 @@ from repro.runner.workloads import (
     pipe_memory_limit,
 )
 from repro.runner.paper_reference import TABLE1, TABLE2
-from repro.utils.errors import MemoryLimitExceeded, ReproError
+from repro.utils.errors import MemoryLimitExceeded
 
 
 def run_table1(sizes: Optional[Sequence[int]] = None) -> List[Dict]:
     """Table I analog: BEM/FEM unknown split of the scaled pipe systems."""
     sizes = list(sizes) if sizes is not None else TABLE1_SIZES
     rows = []
-    for n_total, paper_row in zip(sizes, TABLE1):
+    for n_total, paper_row in zip(sizes, TABLE1, strict=False):
         _, n_fem, n_bem = pipe_grid_dims(n_total)
         paper_n, paper_bem, paper_fem = paper_row
         rows.append(
@@ -96,7 +95,7 @@ def run_fig10_fig11(
     rows: List[Dict] = []
     for n_total in sizes:
         problem = generate_pipe_case(n_total)
-        for (algorithm, coupling), configs in grid.items():
+        for (algorithm, _coupling), configs in grid.items():
             if not include_reference_couplings and algorithm in (
                 "baseline", "advanced"
             ):

@@ -27,10 +27,12 @@ def render_table(
     if title:
         lines.append(title)
     sep = "-+-".join("-" * w for w in widths)
-    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(" | ".join(
+        h.ljust(w) for h, w in zip(cells[0], widths, strict=True)))
     lines.append(sep)
     for row in cells[1:]:
-        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(
+            c.rjust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

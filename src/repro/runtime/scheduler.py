@@ -126,11 +126,11 @@ class ParallelRuntime:
         self.n_workers = max(1, int(n_workers))
         self.name = name
         self._pool: Optional[ThreadPoolExecutor] = None
-        self._timers: Dict[int, PhaseTimer] = {}
-        self._timer_names: Dict[int, str] = {}
+        self._timers: Dict[int, PhaseTimer] = {}  # guarded-by: _timer_lock
+        self._timer_names: Dict[int, str] = {}  # guarded-by: _timer_lock
         self._timer_lock = threading.Lock()
         self._admit_cond = threading.Condition()
-        self._next_admit = 0
+        self._next_admit = 0  # guarded-by: _admit_cond
         self._n_tasks = 0
         self._closed = False
 
@@ -219,7 +219,7 @@ class ParallelRuntime:
             for seq, task in enumerate(tasks)
         ]
         first_error: Optional[BaseException] = None
-        for task, future in zip(tasks, futures):
+        for task, future in zip(tasks, futures, strict=True):
             try:
                 result, alloc = future.result()
             except BaseException as exc:  # noqa: BLE001 - drained and re-raised

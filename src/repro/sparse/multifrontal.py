@@ -231,7 +231,9 @@ class MultifrontalFactorization:
         try:
             l11, d = blocked_ldlt(f11)
         except SingularMatrixError as exc:
-            raise SingularMatrixError(f"front pivot block failed: {exc}")
+            raise SingularMatrixError(
+                f"front pivot block failed: {exc}"
+            ) from exc
         factor.l11 = l11
         factor.d = d
         if fmat.shape[0] > p:
@@ -252,7 +254,9 @@ class MultifrontalFactorization:
         try:
             lu11, piv = lu_factor(f11, check_finite=False)
         except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(f"front pivot block failed: {exc}")
+            raise SingularMatrixError(
+                f"front pivot block failed: {exc}"
+            ) from exc
         if np.any(np.diag(lu11) == 0):
             raise SingularMatrixError("zero pivot in frontal LU")
         factor.l11 = lu11
@@ -430,7 +434,7 @@ class MultifrontalFactorization:
             z.nbytes, category="solve_workspace", label="solve work vector"
         ):
             # forward sweep
-            for f, front in zip(sym.fronts, self._fronts):
+            for f, front in zip(sym.fronts, self._fronts, strict=True):
                 if front.own.size == 0:
                     continue
                 if active is not None and not active[f.node_index]:
@@ -455,7 +459,8 @@ class MultifrontalFactorization:
             if len(sym.schur_vars):
                 z[sym.schur_vars] = 0
             # backward sweep
-            for f, front in zip(reversed(sym.fronts), reversed(self._fronts)):
+            for _f, front in zip(reversed(sym.fronts),
+                                  reversed(self._fronts), strict=True):
                 if front.own.size == 0:
                     continue
                 zo = z[front.own]

@@ -17,7 +17,6 @@ separator tree and are not used by the multifrontal path.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp

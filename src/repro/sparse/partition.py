@@ -11,7 +11,7 @@ node in postorder.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp

@@ -32,7 +32,7 @@ from repro.sparse.ordering import (
     graph_nested_dissection,
 )
 from repro.sparse.partition import PartitionTree
-from repro.sparse.symbolic import SymbolicFactorization, symbolic_analysis
+from repro.sparse.symbolic import symbolic_analysis
 from repro.utils.errors import ConfigurationError
 
 _ORDERINGS = ("geometric", "graph")

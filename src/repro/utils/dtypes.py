@@ -9,14 +9,15 @@ handles real and complex inputs uniformly.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 
-def is_complex_dtype(dtype) -> bool:
+def is_complex_dtype(dtype: DTypeLike) -> bool:
     """True when ``dtype`` is a complex floating dtype."""
     return np.issubdtype(np.dtype(dtype), np.complexfloating)
 
 
-def promote_dtype(*dtypes) -> np.dtype:
+def promote_dtype(*dtypes: DTypeLike) -> np.dtype:
     """The smallest floating dtype able to represent all inputs.
 
     Integer inputs are promoted to ``float64`` because every solver in this
@@ -28,7 +29,7 @@ def promote_dtype(*dtypes) -> np.dtype:
     return np.dtype(result)
 
 
-def real_dtype_of(dtype) -> np.dtype:
+def real_dtype_of(dtype: DTypeLike) -> np.dtype:
     """Real dtype matching the precision of ``dtype``.
 
     ``complex128 -> float64``, ``complex64 -> float32``; real dtypes map to
@@ -40,6 +41,6 @@ def real_dtype_of(dtype) -> np.dtype:
     return dtype
 
 
-def itemsize_of(dtype) -> int:
+def itemsize_of(dtype: DTypeLike) -> int:
     """Bytes per element of ``dtype``."""
     return int(np.dtype(dtype).itemsize)

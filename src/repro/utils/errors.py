@@ -34,7 +34,8 @@ class MemoryLimitExceeded(ReproError):
         The configured limit in bytes.
     """
 
-    def __init__(self, requested: int, in_use: int, limit: int, label: str = ""):
+    def __init__(self, requested: int, in_use: int, limit: int,
+                 label: str = "") -> None:
         self.requested = int(requested)
         self.in_use = int(in_use)
         self.limit = int(limit)

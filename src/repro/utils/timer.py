@@ -43,7 +43,7 @@ class Timer:
     def __enter__(self) -> "Timer":
         return self.start()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
 
@@ -60,7 +60,7 @@ class PhaseTimer:
     """
 
     def __init__(self) -> None:
-        self._acc: Dict[str, float] = {}
+        self._acc: Dict[str, float] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     @contextmanager
@@ -104,5 +104,5 @@ class PhaseTimer:
             self.add(name, seconds)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        inner = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self._acc.items()))
+        inner = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.phases.items()))
         return f"PhaseTimer({inner})"

@@ -6,12 +6,16 @@ enters a solver.
 
 from __future__ import annotations
 
+from typing import Any, Sized
+
 import numpy as np
+from numpy.typing import ArrayLike, DTypeLike
 
 from repro.utils.errors import ConfigurationError
 
 
-def as_2d_array(x, dtype=None, name: str = "array") -> np.ndarray:
+def as_2d_array(x: ArrayLike, dtype: DTypeLike = None,
+                name: str = "array") -> np.ndarray:
     """Coerce ``x`` into a 2-D ndarray (column vector for 1-D input)."""
     arr = np.asarray(x, dtype=dtype)
     if arr.ndim == 1:
@@ -21,13 +25,14 @@ def as_2d_array(x, dtype=None, name: str = "array") -> np.ndarray:
     return arr
 
 
-def check_square(a, name: str = "matrix") -> None:
+def check_square(a: Any, name: str = "matrix") -> None:
     """Raise unless ``a`` has a square 2-D shape."""
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ConfigurationError(f"{name} must be square, got shape {a.shape}")
 
 
-def check_same_length(a, b, name_a: str = "a", name_b: str = "b") -> None:
+def check_same_length(a: Sized, b: Sized,
+                      name_a: str = "a", name_b: str = "b") -> None:
     """Raise unless ``len(a) == len(b)``."""
     if len(a) != len(b):
         raise ConfigurationError(
@@ -36,7 +41,7 @@ def check_same_length(a, b, name_a: str = "a", name_b: str = "b") -> None:
         )
 
 
-def check_positive(value, name: str = "value") -> None:
+def check_positive(value: float, name: str = "value") -> None:
     """Raise unless ``value > 0``."""
     if not value > 0:
         raise ConfigurationError(f"{name} must be positive, got {value!r}")

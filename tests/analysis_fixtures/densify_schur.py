@@ -1,0 +1,29 @@
+"""Fixture: dense-Schur guard violations (SCHUR001/002/003/004)."""
+
+import numpy as np
+
+
+def decompresses(schur):
+    return schur.to_dense()  # SCHUR001
+
+
+def densifies_sparse(a_ss):
+    return a_ss.toarray()  # SCHUR002
+
+
+def densifies_via_numpy(s):
+    return np.asarray(s)  # SCHUR003
+
+
+def full_dense_allocation(problem):
+    n = problem.n_bem
+    return np.zeros((n, n), dtype=problem.dtype)  # SCHUR004
+
+
+def waived_with_reason(schur):
+    # schur-ok: fixture demonstrating a justified waiver
+    return schur.to_dense()
+
+
+def waived_without_reason(schur):
+    return schur.to_dense()  # schur-ok:

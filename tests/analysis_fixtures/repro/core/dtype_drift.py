@@ -1,0 +1,23 @@
+"""Fixture: dtype-safety violations (DT001/DT002).
+
+Lives under a ``repro/core/`` path so the kernel-prefix gate applies.
+"""
+
+import numpy as np
+
+
+def workspace_without_dtype(m, n):
+    return np.zeros((m, n))  # DT001
+
+
+def empty_without_dtype(n):
+    return np.empty(n)  # DT001
+
+
+def truncates_complex(x):
+    return x.astype(np.float64)  # DT002
+
+
+def clean(m, n, dtype):
+    buf = np.zeros((m, n), dtype=dtype)
+    return buf, np.zeros_like(buf)

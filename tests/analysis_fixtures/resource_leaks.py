@@ -1,0 +1,30 @@
+"""Fixture: resource-discipline violations (RES001/RES002/RES003)."""
+
+
+def leaks_on_return(tracker):
+    alloc = tracker.allocate(1024, category="fixture")  # RES002
+    return 42
+
+
+def leaks_on_one_branch(tracker, flag):
+    alloc = tracker.acquire(512)  # RES002 (not freed when flag is False)
+    if flag:
+        alloc.free()
+
+
+def double_free(tracker):
+    alloc = tracker.allocate(64)
+    alloc.free()
+    alloc.free()  # RES003
+
+
+def discards_handle(tracker):
+    tracker.allocate(256)  # RES001
+
+
+def clean_baseline(tracker):
+    alloc = tracker.allocate(128)
+    try:
+        pass
+    finally:
+        alloc.free()

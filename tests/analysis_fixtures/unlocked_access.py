@@ -1,0 +1,27 @@
+"""Fixture: lock-discipline violations (LOCK001/LOCK002/LOCK003)."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._count = 0  # guarded-by: _lock
+
+    def bump(self):
+        self._count += 1  # LOCK001 (write outside the lock)
+
+    def read(self):
+        return self._count  # LOCK002 (read outside the lock)
+
+    def bump_locked(self):
+        with self._lock:
+            self._count += 1  # clean
+
+    def inverted(self):
+        # _lock is innermost in the declared hierarchy; taking _cond
+        # inside it is an ordering inversion
+        with self._lock:
+            with self._cond:  # LOCK003
+                pass

@@ -2,14 +2,53 @@
 
 Problem generation dominates test time, so the coupled test problems are
 session-scoped; tests must not mutate them.
+
+The concurrency tests (``test_runtime.py``) additionally run under the
+lock-order watchdog from :mod:`tools.analysis.watchdog`: every lock
+acquisition is recorded and the test fails if the observed acquisition
+graph contains a cycle (a potential ABBA deadlock), or if any
+``MemoryTracker`` created during the test ends it unbalanced.
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+# make the repo-root ``tools`` package importable regardless of how pytest
+# was launched (``python -m pytest`` adds the CWD, plain ``pytest`` does not)
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if (_REPO_ROOT / "tools").is_dir() and str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
 from repro.fembem import generate_aircraft_case, generate_pipe_case
+
+#: test modules whose lock usage the watchdog verifies end to end
+_WATCHDOG_MODULES = {"test_runtime"}
+
+
+@pytest.fixture(autouse=True)
+def _concurrency_invariants(request):
+    """Lock-order + tracker-balance verification around concurrency tests."""
+    module = getattr(request, "module", None)
+    if module is None or module.__name__ not in _WATCHDOG_MODULES:
+        yield
+        return
+    from tools.analysis.watchdog import LockOrderWatchdog, TrackerBalanceRecorder
+
+    watchdog = LockOrderWatchdog().install()
+    recorder = TrackerBalanceRecorder().install()
+    try:
+        yield
+    finally:
+        recorder.uninstall()
+        watchdog.uninstall()
+    # a violation surfaces as a teardown error on the offending test
+    watchdog.assert_acyclic()
+    recorder.verify()
 
 
 @pytest.fixture(scope="session")

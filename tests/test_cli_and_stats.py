@@ -1,6 +1,5 @@
 """Tests for the CLI entry point and the factorization statistics."""
 
-import numpy as np
 import pytest
 
 from repro.runner.__main__ import main as runner_main

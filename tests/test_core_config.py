@@ -1,5 +1,7 @@
 """Tests for SolverConfig validation and helpers."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import SolverConfig
@@ -35,7 +37,7 @@ class TestValidation:
 
     def test_frozen(self):
         cfg = SolverConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.n_c = 7
 
 

@@ -7,7 +7,6 @@ from repro.fembem.bem import make_surface_operator
 from repro.fembem.mesh import box_surface_points
 from repro.hmatrix.cluster import build_cluster_tree
 from repro.hmatrix.hmatrix import (
-    HMatrix,
     build_hodlr,
     hodlr_from_dense,
     hodlr_zeros,

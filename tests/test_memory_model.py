@@ -141,7 +141,6 @@ class TestCalibration:
         model = CouplingMemoryModel()
         n = 4096
         target_rank = 24.0
-        bytes_ = model.hodlr_bytes(n) + 0  # start from the model itself
         fitted = CouplingMemoryModel(hodlr_rank=target_rank)
         measured = fitted.hodlr_bytes(n)
         recovered = model.calibrated(hodlr_samples=[(n, measured)])

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.memory import Allocation, MemoryTracker, fmt_bytes
+from repro.memory import MemoryTracker, fmt_bytes
 from repro.utils.errors import MemoryLimitExceeded
 
 

@@ -1,7 +1,6 @@
 """Tests for the beyond-the-paper multi-factorization extensions."""
 
 import numpy as np
-import pytest
 
 from repro.core import SolverConfig, solve_coupled
 

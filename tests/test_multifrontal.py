@@ -117,7 +117,6 @@ class TestFactorizeSolve:
 class TestSchurAPI:
     def _schur_setup(self, grid, a, k, seed, unsym=False):
         n = a.shape[0]
-        rng = np.random.default_rng(seed)
         c = sp.random(k, n, density=0.02, format="csr", random_state=seed,
                       dtype=np.float64)
         b = (sp.random(k, n, density=0.02, format="csr",

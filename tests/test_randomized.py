@@ -8,7 +8,6 @@ from repro.core import SolverConfig, solve_coupled
 from repro.core.randomized import (
     CorrectionSampler,
     randomized_block_rk,
-    subtract_randomized_correction,
 )
 from repro.sparse import SparseSolver
 from repro.utils.errors import ConfigurationError
@@ -39,7 +38,6 @@ class TestSampler:
 
     def test_apply_transpose_matches_exact(self, sampler_setup, rng):
         sampler, k_exact = sampler_setup
-        n = k_exact.shape[0]
         rows = np.arange(10, 100)
         cols = np.arange(40, 200)
         x = rng.standard_normal((len(rows), 3))

@@ -1,6 +1,5 @@
 """Tests for iterative refinement on the coupled solve."""
 
-import numpy as np
 import pytest
 
 from repro.core import SolverConfig, solve_coupled

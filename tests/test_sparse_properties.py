@@ -1,7 +1,6 @@
 """Additional property-based tests for the sparse solver components."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st

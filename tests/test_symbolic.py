@@ -63,7 +63,6 @@ class TestWithSchur:
         grid, a, tree = problem
         n = a.shape[0]
         k = 30
-        rng = np.random.default_rng(1)
         coupling = sp.random(k, n, density=0.02, format="csr", random_state=2)
         w = sp.bmat([[a, coupling.T], [coupling, None]], format="csr")
         sym = symbolic_analysis(w, tree, schur_vars=np.arange(n, n + k))

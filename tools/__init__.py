@@ -1,0 +1,1 @@
+"""Repo-local developer tooling (static analysis, CI helpers)."""

@@ -1,0 +1,57 @@
+"""Repo-specific static invariant checkers (``python -m tools.analysis``).
+
+The paper's capacity results rest on invariants the type system cannot
+express; each checker turns one of them into a CI-enforced contract:
+
+``resource-discipline``
+    Every ``MemoryTracker.allocate``/``acquire``/``track_array`` call must
+    be paired with a ``free()`` on every explicit control-flow path (or use
+    the ``borrow`` context-manager form), so tracked peaks stay truthful.
+
+``lock-discipline``
+    Attributes annotated ``# guarded-by: <lock>`` may only be touched
+    inside a ``with self.<lock>:`` block, and lexically nested lock
+    acquisitions must follow the declared hierarchy.
+
+``dense-schur``
+    The dense Schur complement ``S`` must never be fully materialised
+    outside the sanctioned uncompressed paths — no ``.to_dense()``,
+    ``.toarray()`` or full ``(n_bem, n_bem)`` allocations on Schur-typed
+    objects outside the whitelist.
+
+``dtype-safety``
+    Kernel modules must construct arrays with an explicit ``dtype=`` and
+    must not hard-code real dtypes where a problem dtype is in scope
+    (silent complex -> real truncation).
+
+See ``docs/static_analysis.md`` for the conventions and how to extend the
+suite.  The runtime companion (:mod:`tools.analysis.watchdog`) records the
+actual lock-acquisition graph during the concurrency tests and fails on
+cycles.
+"""
+
+from tools.analysis.base import Checker, Finding, ModuleSource, iter_sources
+from tools.analysis.dtype_safety import DtypeSafetyChecker
+from tools.analysis.locks import LockDisciplineChecker
+from tools.analysis.resource import ResourceDisciplineChecker
+from tools.analysis.schur import DenseSchurChecker
+
+#: All checkers, in reporting order.
+ALL_CHECKERS = (
+    ResourceDisciplineChecker,
+    LockDisciplineChecker,
+    DenseSchurChecker,
+    DtypeSafetyChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "Checker",
+    "DenseSchurChecker",
+    "DtypeSafetyChecker",
+    "Finding",
+    "LockDisciplineChecker",
+    "ModuleSource",
+    "ResourceDisciplineChecker",
+    "iter_sources",
+]

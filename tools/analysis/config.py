@@ -1,0 +1,77 @@
+"""Repo-specific policy of the invariant checkers.
+
+Everything path-like is matched against the *posix* form of the file path,
+by suffix — so the same configuration works whether the suite is invoked
+from the repo root (``src/repro/...``) or elsewhere.
+"""
+
+from __future__ import annotations
+
+# -- resource-discipline ------------------------------------------------------
+
+#: Method names on a tracker that create a tracked allocation handle.
+ALLOC_METHODS = frozenset({"allocate", "acquire", "track_array"})
+
+#: The context-manager form (safe by construction).
+BORROW_METHOD = "borrow"
+
+#: A call only counts as an allocation when its receiver mentions a
+#: tracker — this keeps ``threading.Lock.acquire`` out of scope.
+TRACKER_RECEIVER_HINT = "tracker"
+
+# -- lock-discipline ----------------------------------------------------------
+
+#: Global lock hierarchy, outermost first.  A lock may only be acquired
+#: (lexically) while holding locks that appear *earlier* in this list.
+#: These attribute names are unique across the codebase by convention.
+LOCK_HIERARCHY = (
+    "_admit_cond",   # repro.runtime.scheduler.ParallelRuntime (turnstile)
+    "_timer_lock",   # repro.runtime.scheduler.ParallelRuntime (timer map)
+    "_cond",         # repro.memory.tracker.MemoryTracker (bookkeeping)
+    "_lock",         # repro.utils.timer.PhaseTimer (phase accumulator)
+)
+
+#: Methods exempt from the guarded-attribute rule: construction happens
+#: before the object is shared.
+LOCK_EXEMPT_METHODS = frozenset({"__init__", "__new__"})
+
+# -- dense-schur --------------------------------------------------------------
+
+#: Path suffixes where densification is sanctioned wholesale: the
+#: hierarchical compression library itself (its dense conversions are
+#: bounded by leaf/block size) and the uncompressed reference couplings.
+SCHUR_MODULE_WHITELIST = (
+    "repro/hmatrix/",
+    "repro/core/baseline.py",
+    "repro/core/advanced.py",
+)
+
+#: Identifiers that denote a Schur-typed object.  Exact matches only —
+#: ``schur_vars`` (an index array) must not trip the guard.
+SCHUR_IDENTIFIERS = frozenset({
+    "s", "schur", "a_ss", "a_ss_op", "s_i", "s_ij", "schur_block", "s_dense",
+})
+
+#: ``X.n_bem``-style attribute spelling of the dense-Schur dimension.
+SCHUR_DIM_ATTRS = frozenset({"n_bem"})
+
+# -- dtype-safety -------------------------------------------------------------
+
+#: Path suffixes of the kernel modules where dtype discipline is enforced.
+DTYPE_KERNEL_PREFIXES = (
+    "repro/core/",
+    "repro/dense/",
+    "repro/hmatrix/",
+    "repro/memory/",
+    "repro/runtime/",
+    "repro/sparse/",
+)
+
+#: Constructors that silently default to float64 without ``dtype=``.
+DTYPE_CONSTRUCTORS = frozenset({"zeros", "empty", "ones", "full"})
+
+#: Spellings of a hard-coded real floating dtype.
+REAL_DTYPE_LITERALS = frozenset({
+    "float", "np.float32", "np.float64", "numpy.float32", "numpy.float64",
+    "'float32'", "'float64'", '"float32"', '"float64"',
+})

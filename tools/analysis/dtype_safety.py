@@ -1,0 +1,112 @@
+"""dtype-safety: no silent dtype drift in the kernel modules.
+
+The coupled FEM/BEM systems are complex-valued (``complex128`` by
+default, ``complex64`` under ``precision='single'``).  Two patterns
+silently break that:
+
+* ``np.zeros((m, n))`` without ``dtype=`` defaults to *float64* — the
+  first complex value written into it is truncated, or forces an
+  upcast-copy of the whole buffer (DT001).  Every workspace in a kernel
+  module must pass ``dtype=`` explicitly (typically derived from an
+  operand, or via :func:`repro.utils.dtypes.promote_dtype`).
+
+* ``x.astype(np.float64)`` with a hard-coded *real* dtype drops the
+  imaginary part without warning when ``x`` is complex (DT002).  Cast
+  through :func:`repro.utils.dtypes.real_dtype_of` when a real view is
+  really intended, or waive with ``# dtype-ok: <reason>`` when the
+  operand is provably real (geometry coordinates, integer patterns).
+
+Only modules under :data:`tools.analysis.config.DTYPE_KERNEL_PREFIXES`
+are checked; ``*_like`` constructors inherit their prototype's dtype and
+are always fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from tools.analysis.base import Checker, Finding, ModuleSource
+from tools.analysis.config import DTYPE_CONSTRUCTORS, DTYPE_KERNEL_PREFIXES
+
+_REAL_ATTRS = {"float32", "float64", "half", "single", "double"}
+_REAL_STRINGS = {"float32", "float64", "f4", "f8"}
+
+
+def _in_kernel(mod: ModuleSource) -> bool:
+    posix = mod.posix()
+    return any(prefix in posix for prefix in DTYPE_KERNEL_PREFIXES)
+
+
+def _is_real_dtype_literal(node: ast.AST) -> Optional[str]:
+    """Spelling of a hard-coded real floating dtype, or None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+            and node.attr in _REAL_ATTRS):
+        return f"{node.value.id}.{node.attr}"
+    if isinstance(node, ast.Name) and node.id == "float":
+        return "float"
+    if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+            and node.value in _REAL_STRINGS):
+        return repr(node.value)
+    return None
+
+
+class DtypeSafetyChecker(Checker):
+    name = "dtype-safety"
+    waiver = "dtype-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        if not _in_kernel(mod):
+            return findings
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            f = self._check_constructor(mod, node)
+            if f is not None:
+                findings.append(f)
+            f = self._check_astype(mod, node)
+            if f is not None:
+                findings.append(f)
+        return findings
+
+    def _check_constructor(self, mod: ModuleSource,
+                           node: ast.Call) -> Optional[Finding]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+                and func.attr in DTYPE_CONSTRUCTORS):
+            return None
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            return None
+        # dtype passed positionally: 2nd arg of zeros/empty/ones,
+        # 3rd of full (after the fill value, which fixes the dtype anyway)
+        dtype_pos = 3 if func.attr == "full" else 2
+        if len(node.args) >= dtype_pos:
+            return None
+        if func.attr == "full" and len(node.args) >= 2:
+            return None
+        return self.finding(
+            mod, "DT001", node.lineno,
+            f"np.{func.attr}() without dtype= defaults to float64 — pass "
+            f"the solver dtype explicitly (see repro.utils.dtypes)",
+        )
+
+    def _check_astype(self, mod: ModuleSource,
+                      node: ast.Call) -> Optional[Finding]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "astype"
+                and node.args):
+            return None
+        spelling = _is_real_dtype_literal(node.args[0])
+        if spelling is None:
+            return None
+        return self.finding(
+            mod, "DT002", node.lineno,
+            f".astype({spelling}) silently drops the imaginary part of a "
+            f"complex operand — use repro.utils.dtypes.real_dtype_of or "
+            f"waive with '# dtype-ok: <reason>'",
+        )

@@ -1,0 +1,182 @@
+"""lock-discipline: guarded attributes and the declared lock hierarchy.
+
+Convention: an attribute initialised in ``__init__`` may carry a trailing
+
+    ``self._in_use = 0  # guarded-by: _cond``
+
+comment.  From then on, every read or write of ``self._in_use`` anywhere
+in the class must sit lexically inside a ``with self._cond:`` block
+(LOCK001/LOCK002).  ``__init__`` itself is exempt — construction happens
+before the object is shared.  A method may opt out wholesale with a
+``# lock-ok: <reason>`` marker on its ``def`` line (e.g. a documented
+benign racy read), or per line.
+
+Additionally, lexically nested ``with self.<lock>:`` acquisitions must
+follow the global hierarchy declared in :data:`tools.analysis.config
+.LOCK_HIERARCHY` — acquiring an outer-ranked lock while holding an
+inner-ranked one is an ordering inversion (LOCK003) that can deadlock
+against a thread acquiring in the declared order.  Cross-function nesting
+is covered at runtime by :mod:`tools.analysis.watchdog`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.analysis.base import Checker, Finding, ModuleSource
+from tools.analysis.config import LOCK_EXEMPT_METHODS, LOCK_HIERARCHY
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _guarded_map(mod: ModuleSource, cls: ast.ClassDef) -> Dict[str, str]:
+    """attr -> lock attr, from ``# guarded-by:`` markers in the class."""
+    guarded: Dict[str, str] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            lock = mod.marker_value(node.lineno, "guarded-by")
+            if not lock:
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    guarded[attr] = lock
+    return guarded
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walks one method tracking the set of lexically held locks."""
+
+    def __init__(self, checker: "LockDisciplineChecker", mod: ModuleSource,
+                 cls: ast.ClassDef, method: ast.FunctionDef,
+                 guarded: Dict[str, str]):
+        self.checker = checker
+        self.mod = mod
+        self.cls = cls
+        self.method = method
+        self.guarded = guarded
+        self.held: List[str] = []
+        self.findings: List[Finding] = []
+
+    def _report(self, code: str, line: int, message: str) -> None:
+        f = self.checker.finding(self.mod, code, line, message)
+        if f is not None:
+            self.findings.append(f)
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and (attr in LOCK_HIERARCHY
+                                     or attr in self.guarded.values()):
+                self._check_order(attr, item.context_expr.lineno)
+                self.held.append(attr)
+                acquired.append(attr)
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+        for attr in reversed(acquired):
+            self.held.remove(attr)
+
+    def _check_order(self, attr: str, line: int) -> None:
+        if attr not in LOCK_HIERARCHY:
+            return
+        rank = LOCK_HIERARCHY.index(attr)
+        for held in self.held:
+            if held not in LOCK_HIERARCHY:
+                continue
+            if LOCK_HIERARCHY.index(held) >= rank:
+                self._report(
+                    "LOCK003", line,
+                    f"acquiring '{attr}' while holding '{held}' inverts "
+                    f"the declared lock hierarchy "
+                    f"({' -> '.join(LOCK_HIERARCHY)})",
+                )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None and attr in self.guarded:
+            lock = self.guarded[attr]
+            if lock not in self.held:
+                access = ("write" if isinstance(node.ctx, (ast.Store,
+                                                           ast.Del))
+                          else "read")
+                self._report(
+                    "LOCK001" if access == "write" else "LOCK002",
+                    node.lineno,
+                    f"{access} of self.{attr} (guarded by '{lock}') outside "
+                    f"'with self.{lock}:' in {self.cls.name}."
+                    f"{self.method.name}",
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # nested function: runs later, with no lock lexically held
+        saved, self.held = self.held, []
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        saved, self.held = self.held, []
+        self.visit(node.body)
+        self.held = saved
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    waiver = "lock-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        for cls in (n for n in ast.walk(mod.tree)
+                    if isinstance(n, ast.ClassDef)):
+            guarded = _guarded_map(mod, cls)
+            for method in (n for n in cls.body
+                           if isinstance(n, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))):
+                if method.name in LOCK_EXEMPT_METHODS:
+                    continue
+                if mod.waived(method.lineno, "lock-ok"):
+                    continue
+                visitor = _MethodVisitor(self, mod, cls, method, guarded)
+                for stmt in method.body:
+                    visitor.visit(stmt)
+                findings += visitor.findings
+        # hierarchy inversions can also occur outside classes (e.g. module
+        # level or free functions): check every function not in a class
+        findings += self._free_function_order(mod)
+        return findings
+
+    def _free_function_order(self, mod: ModuleSource) -> List[Finding]:
+        in_class: Set[ast.AST] = set()
+        for cls in (n for n in ast.walk(mod.tree)
+                    if isinstance(n, ast.ClassDef)):
+            for node in ast.walk(cls):
+                in_class.add(node)
+        findings: List[Finding] = []
+        for fn in (n for n in ast.walk(mod.tree)
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                   and n not in in_class):
+            dummy_cls = ast.ClassDef(
+                name="<module>", bases=[], keywords=[], body=[],
+                decorator_list=[], type_params=[],
+            )
+            visitor = _MethodVisitor(self, mod, dummy_cls, fn, {})
+            for stmt in fn.body:
+                visitor.visit(stmt)
+            findings += visitor.findings
+        return findings

@@ -1,0 +1,409 @@
+"""resource-discipline: tracked allocations must be freed on every path.
+
+The checker recognises handle-creating calls — ``<tracker>.allocate(...)``,
+``<tracker>.acquire(...)``, ``<tracker>.track_array(...)`` where the
+receiver mentions a tracker — and follows the handle through the explicit
+control flow of the enclosing function:
+
+* a discarded handle (bare expression statement) is a leak (RES001);
+* a handle bound to a local must reach ``.free()`` on every explicit path
+  (``if``/``else`` branches, early ``return``) or escape — be returned,
+  stored into a container/attribute, or passed to another call, all of
+  which transfer ownership (RES002);
+* freeing a handle twice on one path is a static double-free (RES003);
+* rebinding a name that still holds a live handle loses it (RES004);
+* a handle stored on ``self`` must have a matching ``self.<attr>.free()``
+  somewhere in the class (RES005);
+* ``borrow()`` is a context manager; calling it outside ``with`` never
+  releases (RES006);
+* calling ``.resize()`` after ``.free()`` on the same path is a
+  use-after-free (RES007).
+
+Exception paths are deliberately out of scope: the trackers are per-run
+objects that die with the run on error, and the paper's accounting only
+concerns successful runs.  The ``with tracker.borrow(...)`` form is always
+safe and preferred for scoped charges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.analysis.base import (
+    Checker,
+    Finding,
+    ModuleSource,
+    attribute_chain,
+    receiver_root,
+)
+from tools.analysis.config import (
+    ALLOC_METHODS,
+    BORROW_METHOD,
+    TRACKER_RECEIVER_HINT,
+)
+
+LIVE = "live"
+FREED = "freed"
+
+
+def _is_tracker_receiver(node: ast.AST) -> bool:
+    """Heuristic: the receiver of the method mentions a tracker."""
+    chain = attribute_chain(node)
+    root = receiver_root(node)
+    parts = chain[:-1] + ([root] if root else [])
+    return any(TRACKER_RECEIVER_HINT in p.lower() for p in parts if p)
+
+
+def alloc_call(node: ast.AST) -> Optional[str]:
+    """The allocating method name when ``node`` is a handle-creating call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ALLOC_METHODS
+        and _is_tracker_receiver(node.func)
+    ):
+        return node.func.attr
+    return None
+
+
+def borrow_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == BORROW_METHOD
+        and _is_tracker_receiver(node.func)
+    )
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _FunctionAnalysis:
+    """Path-sensitive liveness of handles local to one function body."""
+
+    def __init__(self, checker: "ResourceDisciplineChecker",
+                 mod: ModuleSource, label: str):
+        self.checker = checker
+        self.mod = mod
+        self.label = label
+        self.findings: List[Finding] = []
+        self._reported: Set[Tuple[str, int, str]] = set()
+
+    # -- reporting ------------------------------------------------------------
+    def _report(self, code: str, line: int, message: str) -> None:
+        key = (code, line, message)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        f = self.checker.finding(self.mod, code, line, message)
+        if f is not None:
+            self.findings.append(f)
+
+    # -- entry point ----------------------------------------------------------
+    def run(self, body: List[ast.stmt], end_line: int) -> None:
+        states = self._block(body, [{}])
+        for state in states:
+            self._leak_check(state, end_line, "at end of " + self.label)
+
+    def _leak_check(self, state: Dict[str, Tuple[str, int]], line: int,
+                    where: str) -> None:
+        for name, (status, alloc_line) in sorted(state.items()):
+            if status == LIVE:
+                self._report(
+                    "RES002", alloc_line,
+                    f"handle '{name}' allocated here is never freed "
+                    f"{where} (free it on every path, or use "
+                    f"'with tracker.borrow(...)')",
+                )
+
+    # -- interpreter ----------------------------------------------------------
+    def _block(self, stmts: List[ast.stmt],
+               states: List[Dict[str, Tuple[str, int]]]
+               ) -> List[Dict[str, Tuple[str, int]]]:
+        for stmt in stmts:
+            states = self._stmt(stmt, states)
+            if not states:
+                break
+        return states
+
+    def _escape(self, state: Dict, node: ast.AST,
+                keep: Set[str] = frozenset()) -> None:
+        """Ownership transfer: stop tracking names mentioned in ``node``."""
+        for name in _names_in(node):
+            if name in state and name not in keep:
+                del state[name]
+
+    def _stmt(self, stmt: ast.stmt, states: List[Dict]) -> List[Dict]:
+        handler = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if handler is not None:
+            return handler(stmt, states)
+        # default: escape any handle mentioned (conservative), keep path
+        for state in states:
+            self._escape(state, stmt)
+        return states
+
+    # each _stmt_* consumes a list of states and returns surviving states
+
+    def _stmt_Assign(self, stmt: ast.Assign, states: List[Dict]) -> List[Dict]:
+        method = alloc_call(stmt.value)
+        if method is None and borrow_call(stmt.value):
+            self._report(
+                "RES006", stmt.lineno,
+                "borrow() is a context manager; assigning it never "
+                "releases the charge — use 'with tracker.borrow(...)'",
+            )
+            return states
+        if method is not None and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                for state in states:
+                    prev = state.get(target.id)
+                    if prev is not None and prev[0] == LIVE:
+                        self._report(
+                            "RES004", stmt.lineno,
+                            f"rebinding '{target.id}' loses the live handle "
+                            f"allocated at line {prev[1]}",
+                        )
+                    state[target.id] = (LIVE, stmt.lineno)
+                return states
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                self.checker.note_self_attr_alloc(
+                    self.mod, target.attr, stmt.lineno
+                )
+                return states
+            # other targets (containers, foreign attributes): ownership
+            # escapes to the target
+            return states
+        # non-allocating assignment: rebinding a live handle loses it;
+        # handles mentioned on the RHS escape into the new binding
+        for state in states:
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    prev = state.get(target.id)
+                    if prev is not None and prev[0] == LIVE:
+                        self._report(
+                            "RES004", stmt.lineno,
+                            f"rebinding '{target.id}' loses the live handle "
+                            f"allocated at line {prev[1]}",
+                        )
+                    state.pop(target.id, None)
+            self._escape(state, stmt.value)
+        return states
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign,
+                        states: List[Dict]) -> List[Dict]:
+        if stmt.value is None:
+            return states
+        proxy = ast.Assign(targets=[stmt.target], value=stmt.value)
+        ast.copy_location(proxy, stmt)
+        return self._stmt_Assign(proxy, states)
+
+    def _stmt_Expr(self, stmt: ast.Expr, states: List[Dict]) -> List[Dict]:
+        value = stmt.value
+        if alloc_call(value) is not None:
+            self._report(
+                "RES001", stmt.lineno,
+                "allocation handle is discarded — the charge can never be "
+                "released",
+            )
+            return states
+        if borrow_call(value):
+            self._report(
+                "RES006", stmt.lineno,
+                "borrow() outside 'with' never releases the charge",
+            )
+            return states
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and isinstance(value.func.value, ast.Name)):
+            owner = value.func.value.id
+            if value.func.attr == "free":
+                for state in states:
+                    prev = state.get(owner)
+                    if prev is None:
+                        continue
+                    if prev[0] == FREED:
+                        self._report(
+                            "RES003", stmt.lineno,
+                            f"'{owner}' (allocated at line {prev[1]}) is "
+                            f"already freed on this path — double free",
+                        )
+                    else:
+                        state[owner] = (FREED, prev[1])
+                return states
+            if value.func.attr == "resize":
+                for state in states:
+                    prev = state.get(owner)
+                    if prev is not None and prev[0] == FREED:
+                        self._report(
+                            "RES007", stmt.lineno,
+                            f"resize() on '{owner}' after free() — "
+                            f"use after free",
+                        )
+                    # resize keeps the handle live; arguments may not
+                    # contain other handles worth escaping here
+                return states
+        for state in states:
+            self._escape(state, value)
+        return states
+
+    def _stmt_Return(self, stmt: ast.Return, states: List[Dict]) -> List[Dict]:
+        for state in states:
+            if stmt.value is not None:
+                self._escape(state, stmt.value)
+            self._leak_check(state, stmt.lineno,
+                             f"before the return at line {stmt.lineno}")
+        return []
+
+    def _stmt_Raise(self, stmt: ast.Raise, states: List[Dict]) -> List[Dict]:
+        # exception paths are out of scope (see module docstring)
+        return []
+
+    def _stmt_If(self, stmt: ast.If, states: List[Dict]) -> List[Dict]:
+        import copy
+
+        body_states = self._block(stmt.body, copy.deepcopy(states))
+        else_states = self._block(stmt.orelse, copy.deepcopy(states))
+        return body_states + else_states
+
+    def _loop(self, stmt, states: List[Dict]) -> List[Dict]:
+        import copy
+
+        once = self._block(stmt.body, copy.deepcopy(states))
+        if stmt.orelse:
+            once = self._block(stmt.orelse, once)
+            states = self._block(stmt.orelse, states)
+        return states + once
+
+    _stmt_For = _loop
+    _stmt_While = _loop
+
+    def _stmt_With(self, stmt: ast.With, states: List[Dict]) -> List[Dict]:
+        for item in stmt.items:
+            if alloc_call(item.context_expr) is not None:
+                self._report(
+                    "RES001", stmt.lineno,
+                    "allocate()/acquire() handles are not context managers; "
+                    "use 'with tracker.borrow(...)' for scoped charges",
+                )
+            for state in states:
+                self._escape(state, item.context_expr)
+        return self._block(stmt.body, states)
+
+    def _stmt_Try(self, stmt: ast.Try, states: List[Dict]) -> List[Dict]:
+        import copy
+
+        entry = copy.deepcopy(states)
+        body_states = self._block(stmt.body, states)
+        if stmt.orelse:
+            body_states = self._block(stmt.orelse, body_states)
+        handler_states: List[Dict] = []
+        for handler in stmt.handlers:
+            handler_states += self._block(handler.body, copy.deepcopy(entry))
+        merged = body_states + handler_states
+        if stmt.finalbody:
+            merged = self._block(stmt.finalbody, merged)
+        return merged
+
+    def _stmt_Break(self, stmt, states):
+        return []
+
+    def _stmt_Continue(self, stmt, states):
+        return []
+
+    def _stmt_Pass(self, stmt, states):
+        return states
+
+    def _stmt_Delete(self, stmt: ast.Delete, states: List[Dict]) -> List[Dict]:
+        for state in states:
+            self._escape(state, stmt)
+        return states
+
+    def _stmt_FunctionDef(self, stmt, states):
+        # nested functions are analysed as their own scope
+        return states
+
+    _stmt_AsyncFunctionDef = _stmt_FunctionDef
+    _stmt_ClassDef = _stmt_FunctionDef
+    _stmt_Import = _stmt_Pass
+    _stmt_ImportFrom = _stmt_Pass
+    _stmt_Global = _stmt_Pass
+    _stmt_Nonlocal = _stmt_Pass
+
+
+class ResourceDisciplineChecker(Checker):
+    name = "resource-discipline"
+    waiver = "resource-ok"
+
+    def __init__(self) -> None:
+        # (class qualifier) -> attr -> alloc line, rebuilt per module
+        self._self_allocs: Dict[str, int] = {}
+        self._current_mod: Optional[ModuleSource] = None
+
+    def note_self_attr_alloc(self, mod: ModuleSource, attr: str,
+                             line: int) -> None:
+        self._self_allocs.setdefault(attr, line)
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        self._current_mod = mod
+
+        # analyse the module body and every function, each as its own scope
+        for scope, label, body, end in self._scopes(mod.tree):
+            self._self_allocs = {}
+            analysis = _FunctionAnalysis(self, mod, label)
+            analysis.run(body, end)
+            findings += analysis.findings
+            if self._self_allocs and scope is not None:
+                cls = self._enclosing_class(mod.tree, scope)
+                freed = self._class_freed_attrs(cls) if cls else set()
+                for attr, line in sorted(self._self_allocs.items()):
+                    if attr not in freed:
+                        f = self.finding(
+                            mod, "RES005", line,
+                            f"allocation stored on self.{attr} has no "
+                            f"matching self.{attr}.free() anywhere in "
+                            f"class {cls.name if cls else '<module>'}",
+                        )
+                        if f is not None:
+                            findings.append(f)
+        return findings
+
+    # -- helpers --------------------------------------------------------------
+    def _scopes(self, tree: ast.Module):
+        end = max((getattr(s, "end_lineno", s.lineno) for s in tree.body),
+                  default=1)
+        yield None, "module body", [
+            s for s in tree.body
+            if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef))
+        ], end
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, f"function {node.name}", node.body, \
+                    getattr(node, "end_lineno", node.lineno)
+
+    def _enclosing_class(self, tree: ast.Module,
+                         func: ast.AST) -> Optional[ast.ClassDef]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for child in ast.walk(node):
+                    if child is func:
+                        return node
+        return None
+
+    def _class_freed_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        freed = set()
+        for node in ast.walk(cls):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "free"
+                    and isinstance(node.func.value, ast.Attribute)
+                    and isinstance(node.func.value.value, ast.Name)
+                    and node.func.value.value.id == "self"):
+                freed.add(node.func.value.attr)
+        return freed

@@ -1,0 +1,68 @@
+"""Command-line driver: ``python -m tools.analysis [paths...]``.
+
+Runs every registered checker over all python files beneath the given
+paths (default: ``src benchmarks``), prints findings sorted by location
+and exits non-zero when any invariant is violated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from tools.analysis.base import Finding, iter_sources, parse_failures
+
+
+def _all_checkers():
+    from tools.analysis import ALL_CHECKERS
+    return ALL_CHECKERS
+
+
+def run_checkers(paths: Iterable[str],
+                 only: Optional[Sequence[str]] = None) -> List[Finding]:
+    """All findings from the selected checkers over ``paths``."""
+    checkers = [cls() for cls in _all_checkers()
+                if only is None or cls.name in only]
+    findings = parse_failures(paths)
+    for mod in iter_sources(paths):
+        for checker in checkers:
+            findings.extend(checker.check(mod))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    names = sorted(cls.name for cls in _all_checkers())
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="Repo-specific invariant checkers (AST lints for "
+                    "memory/lock/dense-Schur/dtype discipline).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to check (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--checker", action="append", choices=names, metavar="NAME",
+        help=f"run only this checker (repeatable; one of: {', '.join(names)})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the summary line, print findings only",
+    )
+    args = parser.parse_args(argv)
+
+    findings = run_checkers(args.paths, only=args.checker)
+    for f in findings:
+        print(f.render())
+    if not args.quiet:
+        selected = args.checker or names
+        scope = " ".join(args.paths)
+        if findings:
+            print(f"\n{len(findings)} finding(s) in {scope} "
+                  f"[{', '.join(selected)}]", file=sys.stderr)
+        else:
+            print(f"OK: {scope} clean [{', '.join(selected)}]",
+                  file=sys.stderr)
+    return 1 if findings else 0

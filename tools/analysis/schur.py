@@ -1,0 +1,151 @@
+"""dense-schur: the Schur complement must never fully densify.
+
+The paper's capacity gains exist because compressed variants only ever
+hold per-block panels ``S_i``/``S_ij`` — a single call that materialises
+dense ``S`` silently regresses the solver to baseline memory.  The guard
+forbids, outside the whitelist (:data:`tools.analysis.config
+.SCHUR_MODULE_WHITELIST`) and ``# schur-ok:`` waivers:
+
+* ``<schur>.to_dense()`` — full decompression of a hierarchical object
+  (SCHUR001; inside the whitelist the compression library's own bounded
+  per-block conversions are sanctioned);
+* ``<schur>.toarray()`` / ``<schur>.todense()`` on Schur-typed receivers
+  (SCHUR002);
+* ``np.asarray(<schur>)`` / ``np.array(<schur>)`` on Schur-typed
+  arguments (SCHUR003);
+* full ``(n_bem, n_bem)`` dense allocations (SCHUR004) — both dimensions
+  of a ``np.zeros``/``np.empty``/``np.ones``/``np.full`` shape resolve to
+  the BEM unknown count.
+
+"Schur-typed" is a closed identifier set (:data:`tools.analysis.config
+.SCHUR_IDENTIFIERS`) so that index arrays like ``schur_vars`` never trip
+the guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from tools.analysis.base import (
+    Checker,
+    Finding,
+    ModuleSource,
+    attribute_chain,
+    receiver_root,
+)
+from tools.analysis.config import (
+    SCHUR_DIM_ATTRS,
+    SCHUR_IDENTIFIERS,
+    SCHUR_MODULE_WHITELIST,
+)
+
+_DENSIFY_METHODS = {"toarray", "todense"}
+_CONSTRUCTORS = {"zeros", "empty", "ones", "full"}
+
+
+def _is_schur_expr(node: ast.AST) -> bool:
+    """True when the expression names a Schur-typed object."""
+    root = receiver_root(node)
+    if root is not None and root.lower() in SCHUR_IDENTIFIERS:
+        return True
+    for part in attribute_chain(node):
+        if part.lower() in SCHUR_IDENTIFIERS:
+            return True
+    if isinstance(node, ast.Name) and node.id.lower() in SCHUR_IDENTIFIERS:
+        return True
+    return False
+
+
+def _whitelisted(mod: ModuleSource) -> bool:
+    posix = mod.posix()
+    return any(entry in posix for entry in SCHUR_MODULE_WHITELIST)
+
+
+class _DimResolver:
+    """Resolves which expressions denote the dense-Schur dimension."""
+
+    def __init__(self, tree: ast.Module):
+        #: local names bound (anywhere) to an ``X.n_bem``-style value
+        self.dim_names: Dict[str, int] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_dim_value(
+                        node.value, follow=False):
+                    self.dim_names[target.id] = node.lineno
+
+    def _is_dim_value(self, node: ast.AST, follow: bool = True) -> bool:
+        if isinstance(node, ast.Attribute) and node.attr in SCHUR_DIM_ATTRS:
+            return True
+        if isinstance(node, ast.Name):
+            if node.id in SCHUR_DIM_ATTRS:
+                return True
+            if follow and node.id in self.dim_names:
+                return True
+        return False
+
+    def is_dim(self, node: ast.AST) -> bool:
+        return self._is_dim_value(node, follow=True)
+
+
+class DenseSchurChecker(Checker):
+    name = "dense-schur"
+    waiver = "schur-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        if _whitelisted(mod):
+            return findings
+        resolver = _DimResolver(mod.tree)
+        for node in ast.walk(mod.tree):
+            f = self._check_node(mod, node, resolver)
+            if f is not None:
+                findings.append(f)
+        return findings
+
+    def _check_node(self, mod: ModuleSource, node: ast.AST,
+                    resolver: _DimResolver) -> Optional[Finding]:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "to_dense" and _is_schur_expr(func.value):
+                return self.finding(
+                    mod, "SCHUR001", node.lineno,
+                    "full decompression of a Schur-typed object "
+                    "(.to_dense()) outside the whitelist",
+                )
+            if (func.attr in _DENSIFY_METHODS
+                    and _is_schur_expr(func.value)):
+                return self.finding(
+                    mod, "SCHUR002", node.lineno,
+                    f".{func.attr}() on a Schur-typed object materialises "
+                    f"dense S outside the whitelist",
+                )
+            if (func.attr in ("asarray", "array")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in ("np", "numpy")
+                    and node.args
+                    and _is_schur_expr(node.args[0])):
+                return self.finding(
+                    mod, "SCHUR003", node.lineno,
+                    f"np.{func.attr}() on a Schur-typed object materialises "
+                    f"dense S outside the whitelist",
+                )
+            if (func.attr in _CONSTRUCTORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in ("np", "numpy")
+                    and node.args):
+                shape = node.args[0]
+                if (isinstance(shape, (ast.Tuple, ast.List))
+                        and len(shape.elts) == 2
+                        and resolver.is_dim(shape.elts[0])
+                        and resolver.is_dim(shape.elts[1])):
+                    return self.finding(
+                        mod, "SCHUR004", node.lineno,
+                        "full (n_bem, n_bem) dense allocation — the dense "
+                        "Schur complement may only exist on the "
+                        "whitelisted uncompressed paths",
+                    )
+        return None
