@@ -1,0 +1,128 @@
+"""Symbolic-analysis reuse across the multi-factorization hot loop.
+
+The paper's multi-factorization refactorizes the coupled block
+
+.. math::
+
+    W_{ij} = \\begin{pmatrix} A_{vv} & (A_{sv}^T)_j \\\\
+                              (A_{sv})_i & 0 \\end{pmatrix}
+
+for every block pair — the solver API offers no way to stack a new
+border onto an existing factorization (§IV-B1), so a faithful
+reproduction repeats the *numeric* factorization ``n_b²`` times.  The
+*symbolic* side (ordering, partition tree, elimination analysis of
+``A_vv``) depends only on the sparsity pattern, which is identical for
+every block: :class:`repro.sparse.SymbolicCache` computes it once and a
+border extension grafts each block's Schur columns onto the cached
+interior analysis.
+
+This bench runs the reference case (pipe N=4,000, ``n_b=2``) with reuse
+off and on, asserts the counters (1 analysis + ``n_b²-1`` reuses versus
+``n_b²`` analyses), bit-identical solutions, and a reduced
+``sparse_analysis`` phase; it emits ``BENCH_analysis_reuse.json`` at the
+repo root for the CI perf-smoke job.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import SolverConfig, solve_coupled
+from repro.memory.tracker import fmt_bytes
+from repro.runner.reporting import render_table
+
+from bench_utils import bench_scale, write_bench_json, write_result
+
+#: Best-of-N walls damp scheduler/allocator noise on small cases.
+ROUNDS = 2
+
+
+def _run(problem, config, reuse):
+    t0 = time.perf_counter()
+    sol = solve_coupled(
+        problem, "multi_factorization", config.with_(reuse_analysis=reuse)
+    )
+    return sol, time.perf_counter() - t0
+
+
+def test_analysis_reuse(pipe_4k):
+    config = SolverConfig(n_c=64, n_b=2)
+    n_blocks = config.n_b ** 2
+
+    sols, walls = {}, {}
+    for reuse in (False, True):
+        best = float("inf")
+        for _ in range(ROUNDS):
+            sol, wall = _run(pipe_4k, config, reuse)
+            best = min(best, wall)
+        sols[reuse], walls[reuse] = sol, best
+    on, off = sols[True], sols[False]
+
+    # reuse is a pure symbolic-side optimization: the numeric
+    # refactorization per block is untouched, so solutions (and hence
+    # every residual) are bit-identical
+    assert np.array_equal(on.x, off.x)
+
+    # exactly one full analysis serves all n_b² blocks with reuse on
+    assert on.stats.n_symbolic_analyses == 1
+    assert on.stats.n_symbolic_reuses == n_blocks - 1
+    assert off.stats.n_symbolic_analyses == n_blocks
+    assert off.stats.n_symbolic_reuses == 0
+
+    # the analysis phase shrinks (the CI smoke gate); end-to-end wall
+    # time only reliably improves at full bench size
+    analysis_on = on.stats.phases.get("sparse_analysis", 0.0)
+    analysis_off = off.stats.phases.get("sparse_analysis", 0.0)
+    assert analysis_on < analysis_off
+    if bench_scale() >= 1.0:
+        assert walls[True] < walls[False]
+
+    rows = []
+    for reuse in (False, True):
+        stats = sols[reuse].stats
+        rows.append((
+            "on" if reuse else "off",
+            stats.n_symbolic_analyses,
+            stats.n_symbolic_reuses,
+            f"{stats.phases.get('sparse_analysis', 0.0):.3f}s",
+            f"{stats.phases.get('sparse_numeric', 0.0):.3f}s",
+            f"{walls[reuse]:.2f}s",
+            fmt_bytes(stats.peak_bytes),
+        ))
+    write_result(
+        "analysis_reuse",
+        render_table(
+            ["reuse", "analyses", "reuses", "analysis time",
+             "numeric time", "wall (best)", "peak mem"],
+            rows,
+            title=f"Symbolic-analysis reuse, multi-factorization "
+                  f"(pipe N={pipe_4k.n_total:,}, n_b={config.n_b})",
+        ),
+    )
+    write_bench_json("analysis_reuse", {
+        "case": {
+            "n_total": pipe_4k.n_total,
+            "n_b": config.n_b,
+            "n_blocks": n_blocks,
+            "bench_scale": bench_scale(),
+        },
+        "bit_identical": True,
+        "modes": {
+            ("reuse_on" if reuse else "reuse_off"): {
+                "wall_best_seconds": walls[reuse],
+                "n_symbolic_analyses": sols[reuse].stats.n_symbolic_analyses,
+                "n_symbolic_reuses": sols[reuse].stats.n_symbolic_reuses,
+                "phases": sols[reuse].stats.phases,
+                "peak_bytes": sols[reuse].stats.peak_bytes,
+                "front_arena_peak_bytes":
+                    sols[reuse].stats.peak_by_category.get("front_arena", 0),
+            }
+            for reuse in (False, True)
+        },
+        "sparse_analysis_seconds": {
+            "reuse_off": analysis_off,
+            "reuse_on": analysis_on,
+            "reduction_factor":
+                analysis_off / analysis_on if analysis_on > 0 else None,
+        },
+    })

@@ -11,18 +11,19 @@ import pytest
 
 from repro.fembem import generate_aircraft_case, generate_pipe_case
 
+from bench_utils import scaled
 
 
 @pytest.fixture(scope="session")
 def pipe_4k():
-    return generate_pipe_case(4_000)
+    return generate_pipe_case(scaled(4_000))
 
 
 @pytest.fixture(scope="session")
 def pipe_8k():
-    return generate_pipe_case(8_000)
+    return generate_pipe_case(scaled(8_000))
 
 
 @pytest.fixture(scope="session")
 def aircraft_4k():
-    return generate_aircraft_case(4_000, bem_fraction=0.25)
+    return generate_aircraft_case(scaled(4_000), bem_fraction=0.25)

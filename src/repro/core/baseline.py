@@ -63,8 +63,10 @@ def assemble_baseline(ctx: RunContext):
         mf = sparse.factorize(
             problem.a_vv, coords=problem.coords_v,
             symmetric_values=problem.symmetric,
+            timer=ctx.timer,
         )
     ctx.n_sparse_factorizations += 1
+    ctx.n_symbolic_analyses += sparse.n_symbolic_analyses
     sparse_factor_bytes = mf.factor_bytes
 
     # the defining (and memory-pathological) step: Y = A_vv^{-1} A_sv^T,

@@ -89,6 +89,14 @@ class SolverConfig:
     #: yields bit-identical solutions; memory stays bounded by
     #: ``memory_limit`` through the runtime's admission control.
     n_workers: Optional[int] = None
+    #: Reuse the sparse *analysis* (ordering + symbolic factorization of
+    #: ``A_vv``) across the ``n_b²`` multi-factorization blocks through a
+    #: :class:`repro.sparse.SymbolicCache` — what real solvers' split
+    #: analyse/factorize APIs provide (MUMPS JOB=1/JOB=2).  The *numeric*
+    #: re-factorization per block stays, faithful to the paper (§IV-B1).
+    #: ``None`` = ``$REPRO_REUSE_ANALYSIS`` if set, else True; solutions
+    #: are bit-identical either way.
+    reuse_analysis: Optional[bool] = None
 
     def __post_init__(self):
         if self.dense_backend not in _DENSE_BACKENDS:
@@ -130,6 +138,14 @@ class SolverConfig:
         from repro.runtime import resolve_n_workers
 
         return resolve_n_workers(self.n_workers)
+
+    @property
+    def effective_reuse_analysis(self) -> bool:
+        """Resolved reuse switch: ``reuse_analysis``,
+        ``$REPRO_REUSE_ANALYSIS``, or True."""
+        from repro.sparse.symbolic_cache import resolve_reuse_analysis
+
+        return resolve_reuse_analysis(self.reuse_analysis)
 
     @property
     def hierarchical_tol(self) -> float:

@@ -46,6 +46,7 @@ from repro.core.schur_tools import (
 from repro.fembem.cases import CoupledProblem
 from repro.runtime import PanelTask, ParallelRuntime
 from repro.sparse.solver import SparseSolver
+from repro.sparse.symbolic_cache import SymbolicCache
 
 
 def make_multi_solve_context(
@@ -74,20 +75,28 @@ def assemble_multi_solve(ctx: RunContext):
     """
     problem, config = ctx.problem, ctx.config
     compressed = config.dense_backend == "hmat"
+    # multi-solve factorizes A_vv once, so there is nothing to reuse
+    # within a run — but attaching the cache keeps the analysis/numeric
+    # phase split and the counters consistent across the algorithms
+    cache = SymbolicCache() if config.effective_reuse_analysis else None
     sparse = SparseSolver(
         ordering=config.ordering,
         leaf_size=config.nd_leaf_size,
         amalgamate=config.amalgamate,
         blr=config.blr_config(),
         tracker=ctx.tracker,
+        symbolic_cache=cache,
     )
 
     with ctx.timer.phase("sparse_factorization"):
         mf = sparse.factorize(
             problem.a_vv, coords=problem.coords_v,
             symmetric_values=problem.symmetric,
+            timer=ctx.timer,
         )
     ctx.n_sparse_factorizations += 1
+    ctx.n_symbolic_analyses += sparse.n_symbolic_analyses
+    ctx.n_symbolic_reuses += sparse.n_symbolic_reuses
     sparse_factor_bytes = mf.factor_bytes
 
     with ctx.timer.phase("schur_init"):

@@ -44,6 +44,10 @@ class RunContext:
         self.timer = PhaseTimer()
         self.n_sparse_factorizations = 0
         self.n_sparse_solves = 0
+        #: Full symbolic analyses computed / served from the symbolic
+        #: cache (see ``SolverConfig.reuse_analysis``).
+        self.n_symbolic_analyses = 0
+        self.n_symbolic_reuses = 0
         self.n_workers = config.effective_n_workers
         #: Filled by the assembly phase when it ran on the parallel
         #: runtime (:mod:`repro.runtime`): per-worker phase breakdown.
@@ -68,6 +72,8 @@ class RunContext:
             sparse_factor_bytes=sparse_factor_bytes,
             n_sparse_factorizations=self.n_sparse_factorizations,
             n_sparse_solves=self.n_sparse_solves,
+            n_symbolic_analyses=self.n_symbolic_analyses,
+            n_symbolic_reuses=self.n_symbolic_reuses,
             n_workers=self.n_workers,
             worker_phases=report.worker_phases if report is not None else {},
             scheduler_wait_seconds=(
@@ -80,6 +86,7 @@ class RunContext:
                 "epsilon": self.config.epsilon,
                 "sparse_compression": self.config.sparse_compression,
                 "n_workers": self.n_workers,
+                "reuse_analysis": self.config.effective_reuse_analysis,
             },
         )
 

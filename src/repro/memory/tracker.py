@@ -34,6 +34,27 @@ from repro.utils.errors import MemoryLimitExceeded
 
 _UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
 
+#: Well-known allocation categories and what they account for.  The set is
+#: open (any string is a valid category); this map documents the vocabulary
+#: the solvers and the reporting layer share.  ``front_arena`` is special:
+#: one allocation per arena, charged once at construction and *resized*
+#: as the reusable front buffer grows — per-front workspaces are views
+#: into it and carry no charge of their own.
+CATEGORY_DESCRIPTIONS: Dict[str, str] = {
+    "front_arena": "reusable multifrontal front workspace (charged once, "
+                   "resized to the peak front, recycled across fronts and "
+                   "numeric refactorizations)",
+    "sparse_factor": "stored frontal factor panels",
+    "update_stack": "multifrontal contribution blocks awaiting extend-add",
+    "schur_dense": "dense Schur block returned by factorize_schur",
+    "schur_store": "assembled Schur container (dense or compressed)",
+    "schur_block": "admitted multi-factorization W-block budget",
+    "solve_panel": "blocked solve panels (Y_i / Z_i)",
+    "solve_workspace": "forward/backward sweep work vector (panel-bounded)",
+    "spmm_panel": "dense Z_i accumulation block (compressed multi-solve)",
+    "dense_factor": "dense/hierarchical factorization storage",
+}
+
 
 def fmt_bytes(nbytes: float) -> str:
     """Human-readable byte count (binary units)."""

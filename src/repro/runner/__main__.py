@@ -65,6 +65,13 @@ def main(argv=None) -> int:
         help="width of the parallel panel runtime for every solve "
              "(default: $REPRO_N_WORKERS or 1; results are bit-identical)",
     )
+    parser.add_argument(
+        "--reuse-analysis", dest="reuse_analysis",
+        action=argparse.BooleanOptionalAction, default=None,
+        help="reuse the sparse symbolic analysis across the n_b^2 "
+             "multi-factorization blocks (default: $REPRO_REUSE_ANALYSIS "
+             "or on; results are bit-identical either way)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table I: unknown splits")
@@ -94,6 +101,10 @@ def main(argv=None) -> int:
         from repro.runtime.scheduler import N_WORKERS_ENV
 
         os.environ[N_WORKERS_ENV] = str(args.n_workers)
+    if args.reuse_analysis is not None:
+        from repro.sparse.symbolic_cache import REUSE_ANALYSIS_ENV
+
+        os.environ[REUSE_ANALYSIS_ENV] = "1" if args.reuse_analysis else "0"
     commands = {
         "table1": _cmd_table1,
         "fig10": _cmd_fig10,

@@ -29,9 +29,19 @@ from repro.sparse.ordering import (
     rcm_ordering,
 )
 from repro.sparse.partition import PartitionNode, PartitionTree
-from repro.sparse.symbolic import SymbolicFactorization, symbolic_analysis
+from repro.sparse.symbolic import (
+    SymbolicFactorization,
+    extend_symbolic_with_border,
+    symbolic_analysis,
+)
+from repro.sparse.symbolic_cache import (
+    REUSE_ANALYSIS_ENV,
+    SymbolicCache,
+    pattern_fingerprint,
+    resolve_reuse_analysis,
+)
 from repro.sparse.blr import BLRConfig
-from repro.sparse.multifrontal import MultifrontalFactorization
+from repro.sparse.multifrontal import FrontArena, MultifrontalFactorization
 from repro.sparse.solver import SparseSolver
 
 __all__ = [
@@ -43,7 +53,13 @@ __all__ = [
     "PartitionTree",
     "SymbolicFactorization",
     "symbolic_analysis",
+    "extend_symbolic_with_border",
+    "SymbolicCache",
+    "pattern_fingerprint",
+    "resolve_reuse_analysis",
+    "REUSE_ANALYSIS_ENV",
     "BLRConfig",
+    "FrontArena",
     "MultifrontalFactorization",
     "SparseSolver",
 ]

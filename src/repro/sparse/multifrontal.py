@@ -22,7 +22,7 @@ complement is **always returned as a non-compressed dense matrix**.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -39,6 +39,79 @@ from repro.sparse.blr import (
 )
 from repro.sparse.symbolic import SymbolicFactorization
 from repro.utils.errors import ConfigurationError, SingularMatrixError
+
+#: Column-panel width of the forward/backward solve sweeps: right-hand
+#: sides wider than this are processed in blocks so the triangular solves
+#: and panel products stay in cache-resident BLAS-3 shapes.
+DEFAULT_RHS_PANEL = 256
+
+
+class FrontArena:
+    """Reusable dense front workspace for the multifrontal numeric phase.
+
+    One buffer, sized for the largest front (``peak_front_size²``
+    entries), replaces the per-front ``np.zeros`` allocations: the numeric
+    phase asks for a zeroed ``(nf, nf)`` :meth:`frame` per tree node and
+    the same memory is recycled across fronts — and, when the arena is
+    shared (one per runtime worker in multi-factorization), across the
+    ``n_b²`` numeric refactorizations as well.
+
+    The tracker is charged **once** under the ``front_arena`` category and
+    the charge follows the capacity through :meth:`ensure` growth; the
+    lifecycle is ``FrontArena(...)`` → any number of ``frame``/``ensure``/
+    ``reset`` calls → :meth:`free`.  Frames are *views* into the buffer:
+    only one is valid at a time (the multifrontal loop uses exactly one),
+    and anything that must outlive the next frame has to be copied out.
+    """
+
+    def __init__(self, tracker: Optional[MemoryTracker] = None):
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        self._buf = np.empty(0, dtype=np.float64)
+        self._alloc = self.tracker.allocate(
+            0, category="front_arena", label="front workspace arena"
+        )
+        self._freed = False
+
+    @property
+    def capacity(self) -> int:
+        """Entries the buffer can hold without growing."""
+        return self._buf.size
+
+    @property
+    def nbytes(self) -> int:
+        return self._buf.nbytes
+
+    def ensure(self, n: int, dtype) -> None:
+        """Grow the buffer to hold an ``(n, n)`` frame of ``dtype``."""
+        if self._freed:
+            raise RuntimeError("arena has been freed")
+        dtype = np.dtype(dtype)
+        need = int(n) * int(n)
+        if self._buf.dtype != dtype or self._buf.size < need:
+            size = max(need, self._buf.size if self._buf.dtype == dtype
+                       else 0)
+            self._buf = np.empty(size, dtype=dtype)
+            self._alloc.resize(self._buf.nbytes)
+
+    def frame(self, n: int, dtype) -> np.ndarray:
+        """A zeroed ``(n, n)`` view, invalidating any previous frame."""
+        self.ensure(n, dtype)
+        view = self._buf[: n * n].reshape(n, n)
+        view.fill(0)
+        return view
+
+    def reset(self) -> None:
+        """Mark the arena idle between factorizations (keeps capacity)."""
+        if self._freed:
+            raise RuntimeError("arena has been freed")
+
+    def free(self) -> None:
+        """Release the buffer and its tracker charge (idempotent)."""
+        if self._freed:
+            return
+        self._freed = True
+        self._buf = np.empty(0, dtype=np.float64)
+        self._alloc.free()
 
 
 class _FrontFactor:
@@ -102,6 +175,7 @@ class MultifrontalFactorization:
         symmetric_values: bool,
         blr: Optional[BLRConfig] = None,
         tracker: Optional[MemoryTracker] = None,
+        arena: Optional[FrontArena] = None,
     ):
         self.symbolic = symbolic
         self.mode = "ldlt" if symmetric_values else "lu"
@@ -124,7 +198,17 @@ class MultifrontalFactorization:
         interior_mask[symbolic.schur_vars] = False
         self.interior_ids = np.flatnonzero(interior_mask)
         self._owner = self._owner_of_interior()
-        self._factorize(a)
+        if arena is not None:
+            # caller-owned arena (e.g. one per runtime worker): reused
+            # across factorizations, reset between them, freed by the owner
+            self._factorize(a, arena)
+            arena.reset()
+        else:
+            own_arena = FrontArena(self.tracker)
+            try:
+                self._factorize(a, own_arena)
+            finally:
+                own_arena.free()
 
     # -- setup helpers ----------------------------------------------------------
     def _owner_of_interior(self) -> np.ndarray:
@@ -135,7 +219,7 @@ class MultifrontalFactorization:
         return owner
 
     # -- numeric factorization ----------------------------------------------------
-    def _factorize(self, a: sp.csr_matrix) -> None:
+    def _factorize(self, a: sp.csr_matrix, arena: FrontArena) -> None:
         sym = self.symbolic
         elim = sym.elim_pos
         n_full = sym.n_full
@@ -155,16 +239,15 @@ class MultifrontalFactorization:
             )
             self._assemble_schur_entries(a, elim, schur_pos, n_int)
 
+        # size the arena once from the symbolic peak-front estimate; every
+        # front below borrows a zeroed view of the same buffer
+        arena.ensure(sym.peak_front_size(), self.dtype)
+
         for f in sym.fronts:
             front_vars = np.concatenate([f.own, f.bnd])
             nf = len(front_vars)
             p = f.n_own
-            front_alloc = self.tracker.allocate(
-                nf * nf * self.dtype.itemsize,
-                category="front_workspace",
-                label=f"front {f.node_index} ({nf})",
-            )
-            fmat = np.zeros((nf, nf), dtype=self.dtype)
+            fmat = arena.frame(nf, self.dtype)
             local[front_vars] = np.arange(nf)
 
             # assemble the matrix entries owned by this front
@@ -196,7 +279,11 @@ class MultifrontalFactorization:
                 spos = schur_pos[f.bnd]
                 self.schur[np.ix_(spos, spos)] += update
             elif len(f.bnd):
-                upd = np.array(update, copy=True)
+                # the contribution block must survive the next frame; the
+                # elimination returns a fresh array when it eliminated
+                # pivots (p > 0) but a *view into the arena* otherwise
+                upd = (np.array(update, copy=True)
+                       if update.base is not None else update)
                 ualloc = self.tracker.track_array(
                     upd, category="update_stack",
                     label=f"update of front {f.node_index}",
@@ -205,7 +292,6 @@ class MultifrontalFactorization:
 
             local[front_vars] = -1
             del fmat
-            front_alloc.free()
             self._fronts.append(factor)
 
         if updates:
@@ -336,10 +422,13 @@ class MultifrontalFactorization:
 
         The parallel runtime reserves this as admission headroom so that
         concurrently admitted panel solves cannot push the tracker past
-        its limit through their nested workspace charges.
+        its limit through their nested workspace charges.  The sweeps are
+        blocked over :data:`DEFAULT_RHS_PANEL` columns, so the borrowed
+        work vector never exceeds ``n_full × min(n_rhs, panel)``.
         """
         itemsize = np.dtype(self.dtype).itemsize
-        return int(self.symbolic.n_full) * int(n_rhs) * itemsize
+        width = min(int(n_rhs), DEFAULT_RHS_PANEL)
+        return int(self.symbolic.n_full) * width * itemsize
 
     def take_schur(self) -> Tuple[np.ndarray, object]:
         """Transfer ownership of the dense Schur block (and its allocation)."""
@@ -379,10 +468,30 @@ class MultifrontalFactorization:
                 active[parent_of[i]] = True
         return active
 
+    def _blocked_columns(
+        self,
+        b: Union[np.ndarray, sp.spmatrix],
+        panel: int,
+        solve_one: Callable[[Union[np.ndarray, sp.spmatrix]], np.ndarray],
+    ) -> np.ndarray:
+        """Run ``solve_one`` over column panels of ``b``, reassembled."""
+        bcols = b.tocsc() if sp.issparse(b) else np.asarray(b)
+        n_rhs = bcols.shape[1]
+        out: Optional[np.ndarray] = None
+        for lo in range(0, n_rhs, panel):
+            hi = min(n_rhs, lo + panel)
+            xp = solve_one(bcols[:, lo:hi])
+            if out is None:
+                out = np.empty((xp.shape[0], n_rhs), dtype=xp.dtype)
+            out[:, lo:hi] = xp
+        assert out is not None
+        return out
+
     def solve(
         self,
         b: Union[np.ndarray, sp.spmatrix],
         exploit_sparsity: Optional[bool] = None,
+        rhs_panel: Optional[int] = None,
     ) -> np.ndarray:
         """Solve ``A₁₁ x = b`` over the interior variables.
 
@@ -396,6 +505,13 @@ class MultifrontalFactorization:
             Skip fronts whose subtree holds no RHS nonzero in the forward
             sweep (the MUMPS ICNTL(20) analog).  Defaults to on for sparse
             input, off for dense input.
+        rhs_panel:
+            Column-panel width of the sweeps (default
+            :data:`DEFAULT_RHS_PANEL`).  Wider right-hand sides are
+            processed panel by panel — the triangular solves and coupling
+            products stay in cache-resident BLAS-3 shapes and the solve
+            workspace is bounded by ``n_full × rhs_panel`` — with sparse
+            right-hand sides keeping per-panel support exploitation.
 
         Returns
         -------
@@ -403,6 +519,15 @@ class MultifrontalFactorization:
         """
         if self._freed:
             raise RuntimeError("factorization has been freed")
+        panel = (DEFAULT_RHS_PANEL if rhs_panel is None
+                 else max(1, int(rhs_panel)))
+        if b.ndim == 2 and b.shape[1] > panel:
+            return self._blocked_columns(
+                b, panel,
+                lambda bp: self.solve(
+                    bp, exploit_sparsity=exploit_sparsity, rhs_panel=panel
+                ),
+            )
         sym = self.symbolic
         sparse_input = sp.issparse(b)
         if exploit_sparsity is None:
@@ -483,7 +608,11 @@ class MultifrontalFactorization:
         x = z[self.interior_ids]
         return x[:, 0] if was_1d else x
 
-    def solve_transpose(self, b: Union[np.ndarray, sp.spmatrix]) -> np.ndarray:
+    def solve_transpose(
+        self,
+        b: Union[np.ndarray, sp.spmatrix],
+        rhs_panel: Optional[int] = None,
+    ) -> np.ndarray:
         """Solve ``A₁₁ᵀ x = b`` over the interior variables.
 
         For symmetric factorizations this is :meth:`solve`; in LU mode the
@@ -491,12 +620,20 @@ class MultifrontalFactorization:
         postorder, ``Lᵀ`` backward), with the frontal pivots undone at the
         end of each pivot block.  Needed by the randomized compressed-Schur
         assembly (the paper's §VII future-work direction), which samples
-        the correction operator from both sides.
+        the correction operator from both sides.  Wide right-hand sides
+        are blocked over column panels like :meth:`solve`.
         """
         if self.mode == "ldlt":
-            return self.solve(b)
+            return self.solve(b, rhs_panel=rhs_panel)
         if self._freed:
             raise RuntimeError("factorization has been freed")
+        panel = (DEFAULT_RHS_PANEL if rhs_panel is None
+                 else max(1, int(rhs_panel)))
+        if b.ndim == 2 and b.shape[1] > panel:
+            return self._blocked_columns(
+                b, panel,
+                lambda bp: self.solve_transpose(bp, rhs_panel=panel),
+            )
         sym = self.symbolic
         if sp.issparse(b):
             b = np.asarray(b.todense())

@@ -11,31 +11,67 @@ solvers (§II-C):
   "sparse factorization+Schur" building block.  The listed Schur variables
   are kept uneliminated and their Schur complement is returned **as a
   non-compressed dense matrix** — deliberately reproducing the API
-  limitation at the heart of the paper.  Every call re-runs analysis and
+  limitation at the heart of the paper.  Every call pays the full numeric
   factorization from scratch, exactly like the repeated calls the
   multi-factorization algorithm has to pay for ("implies a re-factorization
   of A_vv at each iteration", §IV-B1).
+
+The *analysis* phase, however, follows what real solvers do (MUMPS JOB=1
+vs JOB=2, PaStiX's split API): when a :class:`~repro.sparse.symbolic_cache
+.SymbolicCache` is attached, the ordering + partition tree + symbolic
+factorization of the interior matrix are computed once per pattern and
+reused — each subsequent ``factorize_schur`` call only grafts its Schur
+border onto the cached elimination tree
+(:func:`~repro.sparse.symbolic.extend_symbolic_with_border`) before paying
+the faithful numeric phase.  ``n_symbolic_analyses`` /
+``n_symbolic_reuses`` count both outcomes; an optional
+:class:`~repro.utils.timer.PhaseTimer` splits ``sparse_analysis`` from
+``sparse_numeric`` so the saving is visible in reports.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from contextlib import nullcontext
+from typing import NamedTuple, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.memory.tracker import MemoryTracker
 from repro.sparse.blr import BLRConfig
-from repro.sparse.multifrontal import MultifrontalFactorization
+from repro.sparse.multifrontal import FrontArena, MultifrontalFactorization
 from repro.sparse.ordering import (
     geometric_nested_dissection,
     graph_nested_dissection,
 )
 from repro.sparse.partition import PartitionTree
-from repro.sparse.symbolic import symbolic_analysis
+from repro.sparse.symbolic import (
+    SymbolicFactorization,
+    extend_symbolic_with_border,
+    symbolic_analysis,
+)
+from repro.sparse.symbolic_cache import (
+    SymbolicCache,
+    coords_digest,
+    pattern_fingerprint,
+)
 from repro.utils.errors import ConfigurationError
+from repro.utils.timer import PhaseTimer
 
 _ORDERINGS = ("geometric", "graph")
+
+
+def _phase(timer: Optional[PhaseTimer], name: str):
+    """Timer phase context, or a no-op when no timer was provided."""
+    return timer.phase(name) if timer is not None else nullcontext()
+
+
+class _CachedAnalysis(NamedTuple):
+    """What a :class:`SymbolicCache` entry stores for one pattern."""
+
+    tree: PartitionTree
+    symbolic: SymbolicFactorization
 
 
 class SparseSolver:
@@ -54,6 +90,11 @@ class SparseSolver:
         for uncompressed factors.
     tracker:
         Memory tracker shared with the caller.
+    symbolic_cache:
+        Optional :class:`SymbolicCache`.  When set, analyses are reused
+        across calls whose interior pattern (and ordering inputs) match;
+        when ``None`` every call re-analyses from scratch (the historical
+        behavior).
     """
 
     def __init__(
@@ -63,6 +104,7 @@ class SparseSolver:
         amalgamate: int = 32,
         blr: Optional[BLRConfig] = None,
         tracker: Optional[MemoryTracker] = None,
+        symbolic_cache: Optional[SymbolicCache] = None,
     ):
         if ordering not in _ORDERINGS:
             raise ConfigurationError(
@@ -73,6 +115,38 @@ class SparseSolver:
         self.amalgamate = int(amalgamate)
         self.blr = blr
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        self.symbolic_cache = symbolic_cache
+        self._n_symbolic_analyses = 0  # guarded-by: _stats_lock
+        self._n_symbolic_reuses = 0  # guarded-by: _stats_lock
+        self._stats_lock = threading.Lock()
+
+    # -- analysis counters --------------------------------------------------------
+    @property
+    def n_symbolic_analyses(self) -> int:
+        """Full symbolic analyses actually computed (cache misses included)."""
+        with self._stats_lock:
+            return self._n_symbolic_analyses
+
+    @property
+    def n_symbolic_reuses(self) -> int:
+        """Analyses served from the symbolic cache instead of recomputed."""
+        with self._stats_lock:
+            return self._n_symbolic_reuses
+
+    def _count_analysis(self, reused: bool) -> None:
+        with self._stats_lock:
+            if reused:
+                self._n_symbolic_reuses += 1
+            else:
+                self._n_symbolic_analyses += 1
+
+    def _analysis_key(self, a_interior: sp.csr_matrix,
+                      coords: Optional[np.ndarray]) -> str:
+        """Cache key: interior pattern + everything the tree depends on."""
+        extra = repr(
+            (self.ordering, self.leaf_size, self.amalgamate)
+        ).encode() + coords_digest(coords)
+        return pattern_fingerprint(a_interior, extra=extra)
 
     # -- analysis -----------------------------------------------------------------
     def build_tree(
@@ -94,26 +168,51 @@ class SparseSolver:
             tree = tree.amalgamated(min_own=self.amalgamate)
         return tree
 
+    def _analyse_interior(
+        self, a_interior: sp.csr_matrix, coords: Optional[np.ndarray]
+    ) -> _CachedAnalysis:
+        """Interior analysis through the cache (or from scratch)."""
+
+        def build() -> _CachedAnalysis:
+            tree = self.build_tree(a_interior, coords)
+            return _CachedAnalysis(tree, symbolic_analysis(a_interior, tree))
+
+        if self.symbolic_cache is None:
+            entry = build()
+            self._count_analysis(reused=False)
+            return entry
+        key = self._analysis_key(a_interior, coords)
+        entry, was_hit = self.symbolic_cache.get_or_build(key, build)
+        self._count_analysis(reused=was_hit)
+        return entry
+
     # -- baseline usage ------------------------------------------------------------
     def factorize(
         self,
         a: sp.spmatrix,
         coords: Optional[np.ndarray] = None,
         symmetric_values: Optional[bool] = None,
+        timer: Optional[PhaseTimer] = None,
+        arena: Optional[FrontArena] = None,
     ) -> MultifrontalFactorization:
         """Analyse and factorize ``a`` (paper §II-C1, *baseline usage*).
 
         ``symmetric_values`` selects LDLᵀ (True) versus LU (False);
-        ``None`` probes the matrix.
+        ``None`` probes the matrix.  ``timer`` splits the call into
+        ``sparse_analysis`` and ``sparse_numeric`` phases; ``arena`` is an
+        optional reusable front workspace (one is created and released
+        internally otherwise).
         """
         a = a.tocsr()
         if symmetric_values is None:
             symmetric_values = _probe_symmetry(a)
-        tree = self.build_tree(a, coords)
-        symbolic = symbolic_analysis(a, tree)
-        return MultifrontalFactorization(
-            a, symbolic, symmetric_values, blr=self.blr, tracker=self.tracker
-        )
+        with _phase(timer, "sparse_analysis"):
+            analysis = self._analyse_interior(a, coords)
+        with _phase(timer, "sparse_numeric"):
+            return MultifrontalFactorization(
+                a, analysis.symbolic, symmetric_values, blr=self.blr,
+                tracker=self.tracker, arena=arena,
+            )
 
     # -- advanced usage --------------------------------------------------------------
     def factorize_schur(
@@ -122,6 +221,8 @@ class SparseSolver:
         schur_vars: np.ndarray,
         coords_interior: Optional[np.ndarray] = None,
         symmetric_values: Optional[bool] = None,
+        timer: Optional[PhaseTimer] = None,
+        arena: Optional[FrontArena] = None,
     ) -> MultifrontalFactorization:
         """The *sparse factorization+Schur* building block (paper §II-C2).
 
@@ -135,6 +236,12 @@ class SparseSolver:
         coords_interior:
             Coordinates of the interior variables (ascending id order),
             for the geometric ordering.
+        timer:
+            Optional phase timer; the call splits into ``sparse_analysis``
+            (ordering + symbolic, or cache lookup + border extension) and
+            ``sparse_numeric`` (the faithful numeric factorization).
+        arena:
+            Optional reusable front workspace shared across calls.
 
         Returns
         -------
@@ -149,16 +256,27 @@ class SparseSolver:
             raise ConfigurationError("schur_vars must be unique")
         if symmetric_values is None:
             symmetric_values = _probe_symmetry(a_full)
-        interior_mask = np.ones(a_full.shape[0], dtype=bool)
-        interior_mask[schur_vars] = False
-        interior_ids = np.flatnonzero(interior_mask)
-        a_int = a_full[interior_ids][:, interior_ids].tocsr()
-        tree = self.build_tree(a_int, coords_interior)
-        symbolic = symbolic_analysis(a_full, tree, schur_vars=schur_vars)
-        return MultifrontalFactorization(
-            a_full, symbolic, symmetric_values, blr=self.blr,
-            tracker=self.tracker,
-        )
+        with _phase(timer, "sparse_analysis"):
+            interior_mask = np.ones(a_full.shape[0], dtype=bool)
+            interior_mask[schur_vars] = False
+            interior_ids = np.flatnonzero(interior_mask)
+            a_int = a_full[interior_ids][:, interior_ids].tocsr()
+            if self.symbolic_cache is None:
+                tree = self.build_tree(a_int, coords_interior)
+                symbolic = symbolic_analysis(
+                    a_full, tree, schur_vars=schur_vars
+                )
+                self._count_analysis(reused=False)
+            else:
+                analysis = self._analyse_interior(a_int, coords_interior)
+                symbolic = extend_symbolic_with_border(
+                    analysis.symbolic, a_full, schur_vars, interior_ids
+                )
+        with _phase(timer, "sparse_numeric"):
+            return MultifrontalFactorization(
+                a_full, symbolic, symmetric_values, blr=self.blr,
+                tracker=self.tracker, arena=arena,
+            )
 
 
 def _probe_symmetry(a: sp.csr_matrix, samples: int = 16) -> bool:

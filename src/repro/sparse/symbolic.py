@@ -188,3 +188,114 @@ def symbolic_analysis(
         schur_vars=schur_vars,
         n_full=n_full,
     )
+
+
+def extend_symbolic_with_border(
+    interior: SymbolicFactorization,
+    a_full: sp.spmatrix,
+    schur_vars: np.ndarray,
+    interior_ids: np.ndarray,
+) -> SymbolicFactorization:
+    """Graft a Schur border onto a cached interior analysis.
+
+    Produces exactly what ``symbolic_analysis(a_full, interior.tree,
+    schur_vars)`` would, without re-walking the interior adjacency:
+
+    * interior-interior adjacency is a submatrix of ``a_full`` identical
+      to the matrix the cached analysis saw, so the *interior part* of
+      every front boundary is the cached one (mapped to full ids);
+    * Schur variables take elimination positions ``>= n_int``, hence they
+      always survive the ``elim_pos >= hi`` filter and sort *after* every
+      interior boundary variable, in Schur-local order — so each front's
+      boundary is the cached interior boundary followed by the subtree's
+      Schur border, which propagates up the tree exactly like the
+      boundaries themselves do.
+
+    Because the front structures coincide, the numeric factorization
+    performs the same arithmetic in the same order: results are
+    bit-identical to the from-scratch analysis.
+
+    Parameters
+    ----------
+    interior:
+        Cached analysis of the interior matrix (no Schur variables).
+    a_full:
+        Full matrix including the Schur rows/columns (the paper's ``W``).
+    schur_vars:
+        Full-matrix ids kept uneliminated.
+    interior_ids:
+        Full-matrix ids of the interior variables, ascending; position
+        ``l`` is the interior-local variable ``l`` of the cached analysis.
+    """
+    a_full = a_full.tocsr()
+    schur_vars = np.asarray(schur_vars, dtype=np.intp)
+    interior_ids = np.asarray(interior_ids, dtype=np.intp)
+    n_full = a_full.shape[0]
+    n_schur = len(schur_vars)
+    n_int = interior.n_full
+    if len(interior.schur_vars):
+        raise ConfigurationError(
+            "the cached analysis must be interior-only (no Schur variables)"
+        )
+    if n_int + n_schur != n_full or len(interior_ids) != n_int:
+        raise ConfigurationError(
+            f"matrix has {n_full} variables; cached interior analysis "
+            f"covers {n_int} and the border adds {n_schur}"
+        )
+
+    elim_pos = np.full(n_full, -1, dtype=np.intp)
+    elim_pos[interior_ids] = interior.elim_pos
+    elim_pos[schur_vars] = n_int + np.arange(n_schur)
+    if np.any(elim_pos < 0):
+        raise ConfigurationError("schur_vars must be unique and in range")
+
+    # symmetrized pattern of the coupling blocks only: for each interior
+    # variable (local id), the adjacent Schur variables (local ids)
+    b_blk = a_full[interior_ids][:, schur_vars]
+    c_blk = a_full[schur_vars][:, interior_ids]
+    adj = ((b_blk != 0).astype(np.int8) + (c_blk != 0).astype(np.int8).T)
+    adj = adj.tocsr()
+    adj.sort_indices()
+    indptr, indices = adj.indptr, adj.indices
+
+    # when the interior occupies ids 0..n_int-1 (the multi-factorization
+    # W layout) the cached index arrays can be shared as-is
+    identity = bool(
+        n_int == 0
+        or (interior_ids[0] == 0 and interior_ids[-1] == n_int - 1)
+    )
+
+    fronts: List[FrontSymbolic] = []
+    border_of: List[np.ndarray] = []  # Schur-local border per front
+    for f in interior.fronts:
+        parts = [border_of[ci] for ci in f.child_indices]
+        if len(f.own):
+            parts.append(np.concatenate(
+                [indices[indptr[v] : indptr[v + 1]] for v in f.own]
+            ))
+        border = (
+            np.unique(np.concatenate(parts)) if parts
+            else np.empty(0, dtype=np.intp)
+        )
+        border_of.append(border)
+        own_full = f.own if identity else interior_ids[f.own]
+        bnd_full = f.bnd if identity else interior_ids[f.bnd]
+        if len(border):
+            bnd_full = np.concatenate([bnd_full, schur_vars[border]])
+        fronts.append(
+            FrontSymbolic(
+                node_index=f.node_index,
+                own=own_full,
+                bnd=bnd_full,
+                child_indices=list(f.child_indices),
+            )
+        )
+    # the cached root boundary is empty (validated at interior analysis
+    # time), so the root front's boundary is exactly its Schur border
+    return SymbolicFactorization(
+        tree=interior.tree,
+        fronts=fronts,
+        elim_pos=elim_pos,
+        schur_vars=schur_vars,
+        n_full=n_full,
+    )

@@ -1,0 +1,49 @@
+"""Fixture: arena lifecycle violations (RES002/RES003/RES007).
+
+``FrontArena`` is a handle-creating constructor (it owns a tracked
+workspace allocation); ``ensure``/``frame``/``reset`` recycle the
+workspace without releasing it, so they must only run on a live arena.
+"""
+
+
+def FrontArena(tracker):  # stand-in so the fixture is importable
+    raise NotImplementedError
+
+
+def leaked_arena(tracker):
+    arena = FrontArena(tracker)  # RES002 (never freed)
+    arena.ensure(128, float)
+
+
+def frame_after_free(tracker):
+    arena = FrontArena(tracker)
+    arena.free()
+    fmat = arena.frame(64, float)  # RES007 (use after free)
+    return fmat
+
+
+def reset_after_free_on_branch(tracker, flag):
+    arena = FrontArena(tracker)
+    if flag:
+        arena.free()
+        arena.reset()  # RES007 (use after free)
+    else:
+        arena.free()
+
+
+def double_free_arena(tracker):
+    arena = FrontArena(tracker)
+    arena.reset()
+    arena.free()
+    arena.free()  # RES003
+
+
+def clean_owned_arena(tracker):
+    arena = FrontArena(tracker)
+    try:
+        arena.ensure(256, float)
+        fmat = arena.frame(32, float)
+        del fmat
+        arena.reset()
+    finally:
+        arena.free()

@@ -274,8 +274,11 @@ class TestMemoryAccounting:
             a, coords=grid.points(), symmetric_values=True
         )
         assert t.peak > f.factor_bytes  # transient fronts exceeded factors
-        assert t.category_peak("front_workspace") > 0
+        # the reusable arena replaces per-front workspace allocations:
+        # one charge, sized for the largest front, released with the call
+        assert t.category_peak("front_arena") > 0
         assert t.category_peak("update_stack") > 0
+        assert t.categories.get("front_arena", 0) == 0
         f.free()
 
     def test_unsymmetric_mode_doubles_factor_storage(self, spd_problem):

@@ -52,6 +52,35 @@ class TestResourceChecker:
         assert len(res3) == 1
 
 
+class TestArenaLifecycle:
+    def test_fixture_findings(self):
+        found = run_checkers([str(FIXTURES / "arena_misuse.py")],
+                             only=["resource-discipline"])
+        assert {"RES002", "RES003", "RES007"} == codes(found)
+
+    def test_use_after_free_sites(self):
+        found = run_checkers([str(FIXTURES / "arena_misuse.py")],
+                             only=["resource-discipline"])
+        uaf = [f for f in found if f.code == "RES007"]
+        assert len(uaf) == 2
+        assert any("frame()" in f.message for f in uaf)
+        assert any("reset()" in f.message for f in uaf)
+
+    def test_leak_is_at_constructor(self):
+        found = run_checkers([str(FIXTURES / "arena_misuse.py")],
+                             only=["resource-discipline"])
+        text = (FIXTURES / "arena_misuse.py").read_text().splitlines()
+        ctor_line = next(i + 1 for i, l in enumerate(text)
+                         if "RES002 (never freed)" in l)
+        assert any(f.code == "RES002" and f.line == ctor_line
+                   for f in found)
+
+    def test_clean_owned_arena_contributes_nothing(self):
+        found = run_checkers([str(FIXTURES / "arena_misuse.py")],
+                             only=["resource-discipline"])
+        assert all("clean_owned_arena" not in f.message for f in found)
+
+
 class TestLockChecker:
     def test_fixture_findings(self):
         found = run_checkers([str(FIXTURES / "unlocked_access.py")],

@@ -19,6 +19,20 @@ BORROW_METHOD = "borrow"
 #: tracker — this keeps ``threading.Lock.acquire`` out of scope.
 TRACKER_RECEIVER_HINT = "tracker"
 
+#: Constructors returning an owned workspace arena.  The arena wraps a
+#: tracked allocation (charged once, resized in place, recycled between
+#: fronts), so the *arena object itself* is the handle: constructing one
+#: creates an obligation to ``free()`` it on every path, exactly like a
+#: ``tracker.allocate(...)`` handle.
+ARENA_CONSTRUCTORS = frozenset({"FrontArena"})
+
+#: Arena methods that *recycle* the workspace without releasing it —
+#: ``ensure`` (grow capacity), ``frame`` (zeroed front view), ``reset``
+#: (between refactorizations).  Calling any of them after ``free()`` is a
+#: use-after-free; calling them on a live handle keeps it live (they do
+#: not transfer ownership).
+ARENA_KEEPALIVE_METHODS = frozenset({"ensure", "frame", "reset"})
+
 # -- lock-discipline ----------------------------------------------------------
 
 #: Global lock hierarchy, outermost first.  A lock may only be acquired
@@ -29,6 +43,8 @@ LOCK_HIERARCHY = (
     "_timer_lock",   # repro.runtime.scheduler.ParallelRuntime (timer map)
     "_cond",         # repro.memory.tracker.MemoryTracker (bookkeeping)
     "_lock",         # repro.utils.timer.PhaseTimer (phase accumulator)
+    "_cache_lock",   # repro.sparse.symbolic_cache.SymbolicCache (leaf)
+    "_stats_lock",   # repro.sparse.solver.SparseSolver counters (leaf)
 )
 
 #: Methods exempt from the guarded-attribute rule: construction happens

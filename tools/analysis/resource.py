@@ -19,6 +19,14 @@ control flow of the enclosing function:
 * calling ``.resize()`` after ``.free()`` on the same path is a
   use-after-free (RES007).
 
+Workspace arenas (:data:`tools.analysis.config.ARENA_CONSTRUCTORS`, e.g.
+``FrontArena``) follow the same discipline: the constructor call *is* the
+handle-creating event (the arena owns a tracked allocation), so a
+constructed arena must reach ``.free()`` or escape on every path, and the
+recycling methods ``ensure()``/``frame()``/``reset()`` neither release
+nor transfer ownership — calling them after ``free()`` is a
+use-after-free (RES007).
+
 Exception paths are deliberately out of scope: the trackers are per-run
 objects that die with the run on error, and the paper's accounting only
 concerns successful runs.  The ``with tracker.borrow(...)`` form is always
@@ -39,6 +47,8 @@ from tools.analysis.base import (
 )
 from tools.analysis.config import (
     ALLOC_METHODS,
+    ARENA_CONSTRUCTORS,
+    ARENA_KEEPALIVE_METHODS,
     BORROW_METHOD,
     TRACKER_RECEIVER_HINT,
 )
@@ -64,6 +74,13 @@ def alloc_call(node: ast.AST) -> Optional[str]:
         and _is_tracker_receiver(node.func)
     ):
         return node.func.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ARENA_CONSTRUCTORS
+    ):
+        # constructing an arena creates the tracked workspace handle
+        return node.func.id
     return None
 
 
@@ -178,6 +195,25 @@ class _FunctionAnalysis:
             # other targets (containers, foreign attributes): ownership
             # escapes to the target
             return states
+        # a keepalive-method result (``view = arena.frame(...)``) borrows
+        # from the arena without transferring ownership: check for use
+        # after free, keep tracking the arena itself
+        keep: Set[str] = set()
+        value = stmt.value
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ARENA_KEEPALIVE_METHODS
+                and isinstance(value.func.value, ast.Name)):
+            owner = value.func.value.id
+            keep.add(owner)
+            for state in states:
+                prev = state.get(owner)
+                if prev is not None and prev[0] == FREED:
+                    self._report(
+                        "RES007", stmt.lineno,
+                        f"{value.func.attr}() on '{owner}' after "
+                        f"free() — use after free",
+                    )
         # non-allocating assignment: rebinding a live handle loses it;
         # handles mentioned on the RHS escape into the new binding
         for state in states:
@@ -191,7 +227,7 @@ class _FunctionAnalysis:
                             f"allocated at line {prev[1]}",
                         )
                     state.pop(target.id, None)
-            self._escape(state, stmt.value)
+            self._escape(state, stmt.value, keep=keep)
         return states
 
     def _stmt_AnnAssign(self, stmt: ast.AnnAssign,
@@ -235,17 +271,19 @@ class _FunctionAnalysis:
                     else:
                         state[owner] = (FREED, prev[1])
                 return states
-            if value.func.attr == "resize":
+            if (value.func.attr == "resize"
+                    or value.func.attr in ARENA_KEEPALIVE_METHODS):
                 for state in states:
                     prev = state.get(owner)
                     if prev is not None and prev[0] == FREED:
                         self._report(
                             "RES007", stmt.lineno,
-                            f"resize() on '{owner}' after free() — "
-                            f"use after free",
+                            f"{value.func.attr}() on '{owner}' after "
+                            f"free() — use after free",
                         )
-                    # resize keeps the handle live; arguments may not
-                    # contain other handles worth escaping here
+                    # resize/ensure/frame/reset recycle the workspace
+                    # without releasing it: the handle stays live and
+                    # ownership does not transfer
                 return states
         for state in states:
             self._escape(state, value)
