@@ -1,0 +1,161 @@
+"""Deferred-recompression accumulators in the compressed AXPY (§IV-A2).
+
+The multi-solve assembly subtracts ``n_s / n_s_block`` compressed panels
+into the HODLR Schur container; with immediate folding every panel
+recompresses every off-diagonal block it touches (QR+SVD each time).
+The :class:`repro.hmatrix.RkAccumulator` batch defers the fold: panel
+quadrants are appended at zero arithmetic cost and each block is
+recompressed roughly once, when its rank budget trips or at the final
+``flush()``.  The panel pre-compression (SVD of the quadrant sub-blocks)
+additionally moves off the ordered turnstile into the runtime workers.
+
+This bench runs the reference case (pipe N=4,000) with accumulation off
+and on, at 1 and 4 workers, and reports recompressions per off-diagonal
+block, the AXPY time (pre-compress + commit/flush phases), wall time and
+peak memory.  It asserts the CI smoke gates — accumulation at least
+halves the recompression count and reduces the serial AXPY time, errors
+stay within epsilon, and solutions are byte-identical across worker
+counts — and emits ``BENCH_compressed_axpy.json`` at the repo root.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import SolverConfig
+from repro.core.multi_solve import assemble_multi_solve, make_multi_solve_context
+from repro.core.schur_tools import finalize_solution
+from repro.memory.tracker import fmt_bytes
+from repro.runner.reporting import render_table
+
+from bench_utils import bench_scale, write_bench_json, write_result
+
+#: Best-of-N walls damp scheduler/allocator noise on small cases.
+ROUNDS = 3
+
+
+def _count_offdiag_blocks(node):
+    if node.is_leaf:
+        return 0
+    return (2 + _count_offdiag_blocks(node.h11)
+            + _count_offdiag_blocks(node.h22))
+
+
+def _run(problem, accumulate, n_workers):
+    config = SolverConfig(dense_backend="hmat", n_c=64, n_s_block=256,
+                          axpy_accumulate=accumulate, n_workers=n_workers)
+    t0 = time.perf_counter()
+    ctx = make_multi_solve_context(problem, config)
+    mf, container, sparse_bytes = assemble_multi_solve(ctx)
+    hm = container.s
+    counters = {
+        "n_offdiag_blocks": _count_offdiag_blocks(hm.root),
+        "n_panel_compressions": hm.n_panel_compressions,
+        "n_offdiag_updates": hm.n_offdiag_updates,
+        "n_offdiag_recompressions": hm.n_offdiag_recompressions,
+    }
+    sol = finalize_solution(ctx, mf, container, sparse_bytes)
+    wall = time.perf_counter() - t0
+    return sol, wall, counters
+
+
+def _axpy_seconds(stats):
+    """Serial-equivalent AXPY cost: pre-compress (worker time) + commit."""
+    return (stats.phases.get("schur_precompress", 0.0)
+            + stats.phases.get("schur_compression", 0.0))
+
+
+def test_compressed_axpy(pipe_4k):
+    grid = [(False, 1), (False, 4), (True, 1), (True, 4)]
+    sols, walls, axpys, counters = {}, {}, {}, {}
+    for accumulate, n_workers in grid:
+        best_wall, best_axpy = float("inf"), float("inf")
+        for _ in range(ROUNDS):
+            sol, wall, cnt = _run(pipe_4k, accumulate, n_workers)
+            best_wall = min(best_wall, wall)
+            best_axpy = min(best_axpy, _axpy_seconds(sol.stats))
+        key = (accumulate, n_workers)
+        sols[key], walls[key], axpys[key] = sol, best_wall, best_axpy
+        counters[key] = cnt
+
+    eps = SolverConfig().epsilon
+    for sol in sols.values():
+        assert sol.relative_error <= eps
+
+    # the commit stage is a deterministic turnstile: solutions are
+    # byte-identical across worker counts in both modes
+    for accumulate in (False, True):
+        s1, s4 = sols[(accumulate, 1)], sols[(accumulate, 4)]
+        assert np.array_equal(s1.x_s, s4.x_s)
+        assert np.array_equal(s1.x_v, s4.x_v)
+
+    # CI smoke gates: at least 2x fewer recompressions, and the serial
+    # AXPY time (same arithmetic, fewer QR+SVD folds) shrinks with it
+    rec_on = counters[(True, 1)]["n_offdiag_recompressions"]
+    rec_off = counters[(False, 1)]["n_offdiag_recompressions"]
+    assert rec_on * 2 <= rec_off
+    assert axpys[(True, 1)] < axpys[(False, 1)]
+    # end-to-end wall time only reliably improves at full bench size
+    if bench_scale() >= 1.0:
+        assert walls[(True, 1)] < walls[(False, 1)]
+
+    rows = []
+    for accumulate, n_workers in grid:
+        key = (accumulate, n_workers)
+        stats, cnt = sols[key].stats, counters[key]
+        per_block = cnt["n_offdiag_recompressions"] / cnt["n_offdiag_blocks"]
+        rows.append((
+            "on" if accumulate else "off",
+            n_workers,
+            cnt["n_offdiag_recompressions"],
+            f"{per_block:.1f}",
+            f"{axpys[key]:.3f}s",
+            f"{walls[key]:.2f}s",
+            fmt_bytes(stats.peak_bytes),
+            fmt_bytes(stats.peak_by_category.get("axpy_accumulator", 0)),
+        ))
+    write_result(
+        "compressed_axpy",
+        render_table(
+            ["accumulate", "workers", "recompressions", "recomp/block",
+             "axpy time", "wall (best)", "peak mem", "acc peak"],
+            rows,
+            title=f"Deferred-recompression compressed AXPY, multi-solve "
+                  f"(pipe N={pipe_4k.n_total:,}, n_S blocks of 256)",
+        ),
+    )
+    write_bench_json("compressed_axpy", {
+        "case": {
+            "n_total": pipe_4k.n_total,
+            "n_bem": pipe_4k.n_bem,
+            "n_s_block": 256,
+            "n_offdiag_blocks": counters[(True, 1)]["n_offdiag_blocks"],
+            "bench_scale": bench_scale(),
+        },
+        "byte_identical_across_workers": True,
+        "modes": {
+            f"accumulate_{'on' if accumulate else 'off'}_w{n_workers}": {
+                "wall_best_seconds": walls[(accumulate, n_workers)],
+                "axpy_best_seconds": axpys[(accumulate, n_workers)],
+                "relative_error": sols[(accumulate, n_workers)].relative_error,
+                "peak_bytes": sols[(accumulate, n_workers)].stats.peak_bytes,
+                "accumulator_peak_bytes":
+                    sols[(accumulate, n_workers)].stats.peak_by_category
+                    .get("axpy_accumulator", 0),
+                **counters[(accumulate, n_workers)],
+            }
+            for accumulate, n_workers in grid
+        },
+        "recompressions": {
+            "off": rec_off,
+            "on": rec_on,
+            "reduction_factor": rec_off / rec_on if rec_on else None,
+        },
+        "axpy_seconds": {
+            "off_serial": axpys[(False, 1)],
+            "on_serial": axpys[(True, 1)],
+            "reduction_factor":
+                axpys[(False, 1)] / axpys[(True, 1)]
+                if axpys[(True, 1)] > 0 else None,
+        },
+    })

@@ -97,6 +97,19 @@ class SolverConfig:
     #: ``None`` = ``$REPRO_REUSE_ANALYSIS`` if set, else True; solutions
     #: are bit-identical either way.
     reuse_analysis: Optional[bool] = None
+    #: Deferred recompression of the compressed-AXPY updates (LUAR-style):
+    #: low-rank panel pieces are *appended* to per-block accumulators and
+    #: recompressed once per budget window / final flush instead of once
+    #: per panel, removing the heavy recompression overhead the paper
+    #: reports for small ``n_S``.  ``None`` = ``$REPRO_AXPY_ACCUMULATE``
+    #: if set, else True.  ``False`` restores the immediate-fold behaviour
+    #: (for A/B benchmarking); results differ only in rounding order,
+    #: both within ε.
+    axpy_accumulate: Optional[bool] = None
+    #: Pending-rank budget per off-diagonal block before an accumulator is
+    #: force-flushed mid-stream (bounds the factor storage and keeps the
+    #: eventual QR+SVD from going superlinear).
+    axpy_max_accumulated_rank: int = 128
 
     def __post_init__(self):
         if self.dense_backend not in _DENSE_BACKENDS:
@@ -131,6 +144,10 @@ class SolverConfig:
             raise ConfigurationError("refinement_steps must be >= 0")
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1 or None")
+        if self.axpy_max_accumulated_rank < 1:
+            raise ConfigurationError(
+                "axpy_max_accumulated_rank must be >= 1"
+            )
 
     @property
     def effective_n_workers(self) -> int:
@@ -146,6 +163,14 @@ class SolverConfig:
         from repro.sparse.symbolic_cache import resolve_reuse_analysis
 
         return resolve_reuse_analysis(self.reuse_analysis)
+
+    @property
+    def effective_axpy_accumulate(self) -> bool:
+        """Resolved deferred-recompression switch: ``axpy_accumulate``,
+        ``$REPRO_AXPY_ACCUMULATE``, or True."""
+        from repro.hmatrix.rk import resolve_axpy_accumulate
+
+        return resolve_axpy_accumulate(self.axpy_accumulate)
 
     @property
     def hierarchical_tol(self) -> float:

@@ -28,6 +28,12 @@ on the caller thread in ``(i, j)`` order, keeping the assembled ``S``
 bit-identical for any worker count; with ``k`` workers up to ``k`` sparse
 factorizations are alive at once (the time/memory trade-off of
 parallelising this algorithm).
+
+With the compressed backend and ``config.effective_axpy_accumulate`` (the
+default), each dense ``X_ij`` is *pre-compressed on its worker* — only a
+low-rank plan travels to the serialized commit, which appends to deferred
+recompression accumulators; a single ``flush()`` before the hierarchical
+factorization recompresses each off-diagonal block once.
 """
 
 from __future__ import annotations
@@ -98,6 +104,7 @@ def assemble_multi_factorization(ctx: RunContext):
     n_blocks = len(blocks)
     itemsize = np.dtype(problem.dtype).itemsize
     state = {"mf": None, "factor_bytes": 0}
+    accumulate = compressed and config.effective_axpy_accumulate
     runtime = ParallelRuntime(
         ctx.tracker, n_workers=ctx.n_workers, name="multi-facto"
     )
@@ -148,7 +155,22 @@ def assemble_multi_factorization(ctx: RunContext):
                     symmetric_values=symmetric_block,
                     timer=timer, arena=arena,
                 )
-            return mf_ij
+            plan = None
+            if accumulate:
+                # pre-compress the dense X_ij on this worker (the SVDs of
+                # the quadrant pieces — the expensive part of the fold);
+                # the dense block dies here, only the compressed plan
+                # travels to the serialized commit
+                x_block, x_alloc = mf_ij.take_schur()
+                with timer.phase("schur_precompress"):
+                    plan = container.precompress_add(
+                        x_block[:k_i, :k_j], rows_i, cols_j,
+                        charge_gather=False,
+                    )
+                del x_block
+                x_alloc.free()
+                alloc.resize(plan.nbytes)
+            return mf_ij, plan
 
         # the factor storage is only known after the numeric factorization;
         # reserving the dense Schur block twice over is a scheduling
@@ -163,7 +185,8 @@ def assemble_multi_factorization(ctx: RunContext):
             payload=(i, j, is_last),
         )
 
-    def consume(task, mf_ij):
+    def consume(task, result):
+        mf_ij, plan = result
         i, j, is_last = task.payload
         rows_i, cols_j = blocks[i], blocks[j]
         k_i, k_j = len(rows_i), len(cols_j)
@@ -171,12 +194,18 @@ def assemble_multi_factorization(ctx: RunContext):
         state["factor_bytes"] = max(
             state["factor_bytes"], mf_ij.factor_bytes
         )
-        x_block, x_alloc = mf_ij.take_schur()
         phase = "schur_compression" if compressed else "schur_assembly"
-        with ctx.timer.phase(phase):
-            container.add_block(x_block[:k_i, :k_j], rows_i, cols_j)
-        del x_block
-        x_alloc.free()
+        if plan is not None:
+            # pre-compressed on the worker: only the cheap ordered commit
+            # (accumulator appends) runs on the turnstile
+            with ctx.timer.phase(phase):
+                container.commit(plan)
+        else:
+            x_block, x_alloc = mf_ij.take_schur()
+            with ctx.timer.phase(phase):
+                container.add_block(x_block[:k_i, :k_j], rows_i, cols_j)
+            del x_block
+            x_alloc.free()
         if is_last:
             # the last block's factorization still holds A_vv's factors,
             # which the coupled right-hand-side solves reuse
@@ -202,6 +231,11 @@ def assemble_multi_factorization(ctx: RunContext):
         # the arenas are dead weight from here on: release them before the
         # dense factorization so its peak does not sit on top of them
         free_worker_arenas()
+        if compressed:
+            # fold pending accumulator batches into S (one recompression
+            # per off-diagonal block; no-op when accumulation is off)
+            with ctx.timer.phase("schur_compression"):
+                container.flush()
         with ctx.timer.phase("dense_factorization"):
             container.factorize(ctx.tracker)
     finally:

@@ -30,6 +30,14 @@ tracker under budget-aware admission control, and the folds into the
 Schur container are consumed on the caller thread in panel order, so the
 assembled ``S`` (and hence the solution) is bit-identical for any worker
 count.
+
+With ``config.effective_axpy_accumulate`` (the default) the compressed
+variant additionally *pre-compresses* each panel on the worker that
+solved it — the SVDs of the quadrant pieces, the expensive part of the
+compressed AXPY, leave the turnstile — while the cheap commits append to
+per-block deferred-recompression accumulators in panel order and a final
+``flush()`` recompresses each off-diagonal block once (see
+:class:`repro.hmatrix.rk.RkAccumulator`).
 """
 
 from __future__ import annotations
@@ -188,10 +196,71 @@ def assemble_multi_solve(ctx: RunContext):
                     oversample=config.randomized_oversample,
                 )
                 container.resync()
+        elif config.effective_axpy_accumulate:
+            # Algorithm 2 with deferred recompression: each n_c panel is
+            # *pre-compressed on the worker that solved it* (the SVD of
+            # every quadrant piece — the expensive part — runs off the
+            # turnstile), the cheap commits append to per-block
+            # accumulators in panel order, and one flush recompresses
+            # each off-diagonal block once at the end.  The outer n_S
+            # gather block is unnecessary: the accumulator plays its
+            # amortisation role without the dense staging buffer.
+            def precompress_task(index: int, col_lo: int,
+                                 col_hi: int) -> PanelTask:
+                width = col_hi - col_lo
+
+                def fn(timer, alloc):
+                    rhs = a_sv_t[:, col_lo:col_hi].tocsr()
+                    with timer.phase("sparse_solve"):
+                        y = mf.solve(
+                            rhs, exploit_sparsity=config.exploit_sparse_rhs
+                        )
+                    with timer.phase("spmm"):
+                        z = problem.a_sv @ y
+                    del y
+                    # live set: Z plus its cluster-permuted gather
+                    alloc.resize(2 * z.nbytes)
+                    with timer.phase("schur_precompress"):
+                        plan = container.precompress_subtract(
+                            z, all_rows, np.arange(col_lo, col_hi),
+                            charge_gather=False,
+                        )
+                    del z
+                    alloc.resize(plan.nbytes)
+                    return plan
+
+                return PanelTask(
+                    index=index,
+                    fn=fn,
+                    cost_bytes=(problem.n_fem + n_s) * width * itemsize,
+                    headroom_bytes=(
+                        mf.solve_workspace_bytes(width)
+                        + n_s * width * itemsize
+                    ),
+                    category="solve_panel",
+                    label=f"Z panel precompress cols {col_lo}:{col_hi}",
+                    payload=(col_lo, col_hi),
+                )
+
+            def consume(task, plan):
+                ctx.n_sparse_solves += 1
+                with ctx.timer.phase("schur_compression"):
+                    container.commit(plan)
+
+            runtime.run(
+                [
+                    precompress_task(k, lo, min(n_s, lo + n_c))
+                    for k, lo in enumerate(range(0, n_s, n_c))
+                ],
+                consume,
+            )
+            with ctx.timer.phase("schur_compression"):
+                container.flush()
         else:
-            # Algorithm 2: compressed S; the inner n_c panels of each outer
-            # n_S block solve concurrently into a dense Z_i, folded in by
-            # one compressed AXPY per outer block (on the caller thread)
+            # Algorithm 2, immediate folds: the inner n_c panels of each
+            # outer n_S block solve concurrently into a dense Z_i, folded
+            # in by one compressed AXPY per outer block (on the caller
+            # thread) — the historical behaviour kept for A/B runs
             n_s_block = min(config.n_s_block, n_s)
             for lo in range(0, n_s, n_s_block):
                 hi = min(n_s, lo + n_s_block)
@@ -219,6 +288,10 @@ def assemble_multi_solve(ctx: RunContext):
                         )
                     del z_i
 
+        if compressed:
+            # idempotent (a no-op unless commits accumulated); keeps the
+            # invariant that S carries no pending updates into factorize
+            container.flush()
         with ctx.timer.phase("dense_factorization"):
             container.factorize(ctx.tracker)
     finally:

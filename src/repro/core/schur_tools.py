@@ -87,6 +87,7 @@ class RunContext:
                 "sparse_compression": self.config.sparse_compression,
                 "n_workers": self.n_workers,
                 "reuse_analysis": self.config.effective_reuse_analysis,
+                "axpy_accumulate": self.config.effective_axpy_accumulate,
             },
         )
 
@@ -153,7 +154,25 @@ class DenseSchurContainer:
 
 
 class HodlrSchurContainer:
-    """Compressed Schur complement in a HODLR structure (HMAT role)."""
+    """Compressed Schur complement in a HODLR structure (HMAT role).
+
+    Blockwise updates run the split compressed AXPY: callers may either
+    call :meth:`subtract_block` / :meth:`add_block` directly (pre-compress
+    and commit in one step) or pre-compress panels concurrently on runtime
+    workers via :meth:`precompress_subtract` / :meth:`precompress_add` and
+    serialize only the cheap :meth:`commit`.  With
+    ``config.effective_axpy_accumulate`` on, commits append to per-block
+    :class:`~repro.hmatrix.rk.RkAccumulator` batches; :meth:`flush` folds
+    them in (one recompression per block) and must run before
+    :meth:`factorize`.
+
+    Tracked sizes are maintained *incrementally* from the byte deltas the
+    commit/flush path returns — the per-panel full-tree walk that
+    ``resync()`` used to do is gone from the hot path (it remains for the
+    randomized assembly, which mutates the structure directly).
+    Accumulator bytes are charged to their own ``axpy_accumulator``
+    category so budget-aware admission sees them.
+    """
 
     def __init__(self, problem: CoupledProblem, config: SolverConfig,
                  tracker: MemoryTracker):
@@ -169,8 +188,14 @@ class HodlrSchurContainer:
         self.s = build_hodlr(
             problem.a_ss_op, self.tree, tol=config.hierarchical_tol
         )
+        self._accumulate = config.effective_axpy_accumulate
+        self._max_acc_rank = config.axpy_max_accumulated_rank
         self._alloc = tracker.allocate(
             self.s.nbytes(), category="schur_store", label="compressed Schur S"
+        )
+        self._acc_alloc = tracker.allocate(
+            0, category="axpy_accumulator",
+            label="pending AXPY accumulators of S",
         )
         self._fact: Optional[HLUFactorization] = None
         self._fact_alloc = None
@@ -179,30 +204,71 @@ class HodlrSchurContainer:
     def nbytes(self) -> int:
         return self._alloc.nbytes if self._alloc.live else 0
 
+    def _apply_deltas(self, store_delta: int, pending_delta: int) -> None:
+        """Fold commit/flush byte deltas into the tracked allocations."""
+        if store_delta:
+            self._alloc.resize(self._alloc.nbytes + store_delta)
+        if pending_delta:
+            self._acc_alloc.resize(self._acc_alloc.nbytes + pending_delta)
+
     def resync(self) -> None:
-        """Re-read the compressed size into the tracked allocation.
+        """Re-walk the tree into the tracked allocations (slow path).
 
         Callers that mutate ``self.s`` directly (e.g. the randomized
         assembly writing low-rank blocks in place) call this afterwards so
-        the memory accounting follows the recompressed structure.
+        the memory accounting follows the recompressed structure.  The
+        blockwise update path never needs it — commits return deltas.
         """
-        self._alloc.resize(self.s.nbytes())
+        pending = self.s.pending_accumulator_nbytes()
+        self._acc_alloc.resize(pending)
+        self._alloc.resize(self.s.nbytes() - pending)
 
     def subtract_block(self, z: np.ndarray, rows: np.ndarray,
                        cols: np.ndarray) -> None:
-        """Compressed AXPY ``S[rows, cols] -= z`` with recompression."""
-        self.s.axpy_dense(-1.0, z, rows, cols,
-                          compressor=self.config.compressor)
-        self.resync()
+        """Compressed AXPY ``S[rows, cols] -= z`` (pre-compress + commit)."""
+        self.commit(self.precompress_subtract(z, rows, cols))
 
     def add_block(self, x: np.ndarray, rows: np.ndarray,
                   cols: np.ndarray) -> None:
-        """Compressed AXPY ``S[rows, cols] += x`` with recompression."""
-        self.s.axpy_dense(1.0, x, rows, cols,
-                          compressor=self.config.compressor)
-        self.resync()
+        """Compressed AXPY ``S[rows, cols] += x`` (pre-compress + commit)."""
+        self.commit(self.precompress_add(x, rows, cols))
+
+    def precompress_subtract(self, z: np.ndarray, rows: np.ndarray,
+                             cols: np.ndarray, charge_gather: bool = True):
+        """Pre-compress ``S[rows, cols] -= z`` (thread-safe, no mutation).
+
+        ``charge_gather=False`` skips charging the cluster-permuted panel
+        gather to the tracker — for callers running inside a runtime task
+        whose admitted budget already reserves it.
+        """
+        return self.s.precompress_axpy(
+            -1.0, z, rows, cols, compressor=self.config.compressor,
+            tracker=self.tracker if charge_gather else None,
+        )
+
+    def precompress_add(self, x: np.ndarray, rows: np.ndarray,
+                        cols: np.ndarray, charge_gather: bool = True):
+        """Pre-compress ``S[rows, cols] += x`` (thread-safe, no mutation)."""
+        return self.s.precompress_axpy(
+            1.0, x, rows, cols, compressor=self.config.compressor,
+            tracker=self.tracker if charge_gather else None,
+        )
+
+    def commit(self, plan) -> None:
+        """Apply a pre-compressed plan (must run serialized, in order)."""
+        self._apply_deltas(*self.s.commit_axpy(
+            plan, accumulate=self._accumulate,
+            max_accumulated_rank=self._max_acc_rank,
+        ))
+
+    def flush(self) -> None:
+        """Fold every pending accumulator into the structure (idempotent)."""
+        self._apply_deltas(*self.s.flush_accumulators())
 
     def factorize(self, tracker: MemoryTracker) -> None:
+        # defensive: factoring with unflushed accumulators would silently
+        # drop their updates (algorithms flush explicitly; idempotent)
+        self.flush()
         # symmetric systems factor with hierarchical LDLᵀ (the paper's
         # choice for symmetric blocks — half the factor storage of H-LU)
         if self.problem.symmetric:
@@ -229,6 +295,7 @@ class HodlrSchurContainer:
             self._fact_alloc = None
         self._fact = None
         self.s = None
+        self._acc_alloc.free()
         self._alloc.free()
 
 

@@ -22,9 +22,14 @@ DESIGN.md documents the HODLR-for-general-ℋ substitution.
 """
 
 from repro.hmatrix.cluster import ClusterNode, ClusterTree, build_cluster_tree
-from repro.hmatrix.rk import RkMatrix, svd_truncate
+from repro.hmatrix.rk import (
+    RkAccumulator,
+    RkMatrix,
+    resolve_axpy_accumulate,
+    svd_truncate,
+)
 from repro.hmatrix.aca import aca, aca_dense
-from repro.hmatrix.hmatrix import HMatrix, build_hodlr, hodlr_from_dense
+from repro.hmatrix.hmatrix import AxpyPlan, HMatrix, build_hodlr, hodlr_from_dense
 from repro.hmatrix.factorization import HLUFactorization
 from repro.hmatrix.ldlt_factorization import HLDLTFactorization
 from repro.hmatrix.strong import StrongHMatrix, build_strong_hmatrix, is_admissible
@@ -33,10 +38,13 @@ __all__ = [
     "ClusterNode",
     "ClusterTree",
     "build_cluster_tree",
+    "RkAccumulator",
     "RkMatrix",
+    "resolve_axpy_accumulate",
     "svd_truncate",
     "aca",
     "aca_dense",
+    "AxpyPlan",
     "HMatrix",
     "build_hodlr",
     "hodlr_from_dense",

@@ -11,8 +11,16 @@ off-diagonal blocks are stored as :class:`~repro.hmatrix.rk.RkMatrix`
 * **compressed AXPY** of a dense sub-block into the structure
   (:meth:`HMatrix.axpy_dense`) — the paper's key primitive for folding the
   dense Schur blocks returned by the sparse solver into the compressed
-  Schur complement (§IV-A2 / §IV-B2, "Compressed AXPY"), and
-* exact byte-level memory accounting (:meth:`HMatrix.nbytes`).
+  Schur complement (§IV-A2 / §IV-B2, "Compressed AXPY"), split into a
+  thread-safe **pre-compress** stage (:meth:`HMatrix.precompress_axpy`,
+  the SVD/ACA of every quadrant piece — runs off the caller thread) and a
+  deterministic **commit** stage (:meth:`HMatrix.commit_axpy`), with
+  optional deferred recompression through per-block
+  :class:`~repro.hmatrix.rk.RkAccumulator` batches
+  (:meth:`HMatrix.flush_accumulators`), and
+* exact byte-level memory accounting (:meth:`HMatrix.nbytes`), maintained
+  incrementally by the commit/flush path (delta returns) so per-panel
+  accounting never re-walks the tree.
 
 The public interface speaks *original* point indices; internally
 everything lives in the cluster-permuted ordering.
@@ -20,20 +28,22 @@ everything lives in the cluster-permuted ordering.
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.hmatrix.aca import aca, aca_dense
 from repro.hmatrix.cluster import ClusterNode, ClusterTree
-from repro.hmatrix.rk import RkMatrix
+from repro.hmatrix.rk import RkAccumulator, RkMatrix
 from repro.utils.errors import ConfigurationError
 
 
 class HNode:
     """One diagonal block of the HODLR structure (permuted range ``[start, stop)``)."""
 
-    __slots__ = ("start", "stop", "mid", "dense", "h11", "h22", "rk12", "rk21")
+    __slots__ = ("start", "stop", "mid", "dense", "h11", "h22", "rk12", "rk21",
+                 "acc12", "acc21")
 
     def __init__(self, start: int, stop: int):
         self.start = start
@@ -44,6 +54,10 @@ class HNode:
         self.h22: Optional["HNode"] = None
         self.rk12: Optional[RkMatrix] = None
         self.rk21: Optional[RkMatrix] = None
+        #: Deferred-recompression accumulators of the off-diagonal blocks
+        #: (created lazily by accumulating commits; ``acc.base is rk``).
+        self.acc12: Optional[RkAccumulator] = None
+        self.acc21: Optional[RkAccumulator] = None
 
     @property
     def size(self) -> int:
@@ -53,14 +67,25 @@ class HNode:
     def is_leaf(self) -> bool:
         return self.dense is not None
 
+    def pending_nbytes(self) -> int:
+        """Unflushed accumulator bytes below (and at) this node."""
+        if self.is_leaf:
+            return 0
+        own = sum(acc.pending_nbytes for acc in (self.acc12, self.acc21)
+                  if acc is not None)
+        return own + self.h11.pending_nbytes() + self.h22.pending_nbytes()
+
     def nbytes(self) -> int:
         if self.is_leaf:
             return self.dense.nbytes
+        own = sum(acc.pending_nbytes for acc in (self.acc12, self.acc21)
+                  if acc is not None)
         return (
             self.h11.nbytes()
             + self.h22.nbytes()
             + self.rk12.nbytes
             + self.rk21.nbytes
+            + own
         )
 
     def max_rank(self) -> int:
@@ -71,6 +96,11 @@ class HNode:
         )
 
     def copy(self) -> "HNode":
+        if self.pending_nbytes() > 0:
+            raise ConfigurationError(
+                "cannot copy an HODLR node with unflushed AXPY accumulators"
+                " — flush first"
+            )
         out = HNode(self.start, self.stop)
         out.mid = self.mid
         if self.is_leaf:
@@ -91,6 +121,87 @@ def _compress_dense(block: np.ndarray, tol: float, compressor: str) -> RkMatrix:
     raise ConfigurationError(f"unknown compressor {compressor!r}")
 
 
+def _offdiag_dense(rk: RkMatrix, acc: Optional[RkAccumulator]) -> np.ndarray:
+    """Dense view of an off-diagonal block including any pending updates."""
+    out = rk.to_dense()
+    if acc is not None and acc.pending_rank:
+        out = out + acc.pending_dense()
+    return out
+
+
+def _offdiag_matvec(rk: RkMatrix, acc: Optional[RkAccumulator],
+                    x: np.ndarray) -> np.ndarray:
+    """``block @ x`` for an off-diagonal block including pending updates."""
+    y = rk.matvec(x)
+    if acc is not None and acc.pending_rank:
+        y = y + acc.pending_matvec(x)
+    return y
+
+
+class _LeafUpdate:
+    """One exact dense-leaf piece of a planned compressed AXPY."""
+
+    __slots__ = ("node", "rows", "cols", "piece")
+
+    def __init__(self, node: HNode, rows: np.ndarray, cols: np.ndarray,
+                 piece: np.ndarray):
+        self.node = node
+        self.rows = rows
+        self.cols = cols
+        self.piece = piece
+
+    @property
+    def nbytes(self) -> int:
+        return self.piece.nbytes
+
+
+class _FoldUpdate:
+    """One pre-compressed off-diagonal piece of a planned compressed AXPY.
+
+    ``small`` holds the compressed factors of the quadrant piece (alpha
+    already applied); ``rows``/``cols`` are the *local* positions of the
+    piece inside the target ``rk12``/``rk21`` block.
+    """
+
+    __slots__ = ("node", "side", "small", "rows", "cols")
+
+    def __init__(self, node: HNode, side: str, small: RkMatrix,
+                 rows: np.ndarray, cols: np.ndarray):
+        self.node = node
+        self.side = side
+        self.small = small
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def nbytes(self) -> int:
+        return self.small.nbytes
+
+
+class AxpyPlan:
+    """Pre-compressed update set for one dense panel.
+
+    Produced by :meth:`HMatrix.precompress_axpy` (expensive, thread-safe:
+    reads only the immutable tree structure) and applied by
+    :meth:`HMatrix.commit_axpy` (cheap, must run serialized in a
+    deterministic order).  The plan owns copies of everything it needs —
+    the source panel may be freed as soon as the plan exists.
+    """
+
+    __slots__ = ("alpha", "leaves", "folds")
+
+    def __init__(self, alpha):
+        self.alpha = alpha
+        self.leaves: List[_LeafUpdate] = []
+        self.folds: List[_FoldUpdate] = []
+
+    @property
+    def nbytes(self) -> int:
+        """Logical bytes the plan holds (leaf copies + compressed factors)."""
+        return (sum(u.nbytes for u in self.leaves)
+                + sum(f.nbytes for f in self.folds))
+
+
 class HMatrix:
     """Square hierarchical low-rank matrix over a cluster tree."""
 
@@ -99,6 +210,38 @@ class HMatrix:
         self.root = root
         self.tol = float(tol)
         self.dtype = np.dtype(dtype)
+        # compressed-AXPY instrumentation: panel-piece compressions happen
+        # on runtime workers (precompress), so the counters share a leaf
+        # lock (see LOCK_HIERARCHY in tools/analysis/config.py)
+        self._axpy_lock = threading.Lock()
+        self._n_panel_compressions = 0  # guarded-by: _axpy_lock
+        self._n_offdiag_updates = 0  # guarded-by: _axpy_lock
+        self._n_offdiag_recompressions = 0  # guarded-by: _axpy_lock
+
+    # -- compressed-AXPY counters ------------------------------------------------
+    @property
+    def n_panel_compressions(self) -> int:
+        """SVD/ACA compressions of dense quadrant pieces (precompress stage)."""
+        with self._axpy_lock:
+            return self._n_panel_compressions
+
+    @property
+    def n_offdiag_updates(self) -> int:
+        """Low-rank updates folded into off-diagonal blocks (commit stage)."""
+        with self._axpy_lock:
+            return self._n_offdiag_updates
+
+    @property
+    def n_offdiag_recompressions(self) -> int:
+        """QR+SVD roundings of off-diagonal blocks (immediate folds + flushes)."""
+        with self._axpy_lock:
+            return self._n_offdiag_recompressions
+
+    def _count(self, panel: int = 0, updates: int = 0, recomp: int = 0) -> None:
+        with self._axpy_lock:
+            self._n_panel_compressions += panel
+            self._n_offdiag_updates += updates
+            self._n_offdiag_recompressions += recomp
 
     # -- inspection -------------------------------------------------------------
     @property
@@ -135,8 +278,12 @@ class HMatrix:
                 return
             fill(node.h11)
             fill(node.h22)
-            out[node.start : node.mid, node.mid : node.stop] = node.rk12.to_dense()
-            out[node.mid : node.stop, node.start : node.mid] = node.rk21.to_dense()
+            out[node.start : node.mid, node.mid : node.stop] = (
+                _offdiag_dense(node.rk12, node.acc12)
+            )
+            out[node.mid : node.stop, node.start : node.mid] = (
+                _offdiag_dense(node.rk21, node.acc21)
+            )
 
         fill(self.root)
         perm = self.tree.perm
@@ -166,8 +313,12 @@ class HMatrix:
             return node.dense @ xp
         cut = node.mid - node.start
         x1, x2 = xp[:cut], xp[cut:]
-        y1 = self._matvec_node(node.h11, x1) + node.rk12.matvec(x2)
-        y2 = node.rk21.matvec(x1) + self._matvec_node(node.h22, x2)
+        y1 = self._matvec_node(node.h11, x1) + _offdiag_matvec(
+            node.rk12, node.acc12, x2
+        )
+        y2 = _offdiag_matvec(node.rk21, node.acc21, x1) + self._matvec_node(
+            node.h22, x2
+        )
         return np.concatenate([y1, y2], axis=0)
 
     # -- compressed AXPY ----------------------------------------------------------
@@ -178,18 +329,58 @@ class HMatrix:
         rows: np.ndarray,
         cols: np.ndarray,
         compressor: str = "svd",
-    ) -> None:
+        accumulate: bool = False,
+        max_accumulated_rank: Optional[int] = None,
+        tracker=None,
+    ) -> Tuple[int, int]:
         """``self[rows, cols] += alpha * block`` with on-the-fly compression.
 
         ``rows`` / ``cols`` are *original* indices (arbitrary subsets —
         e.g. a contiguous block of original Schur columns, which scatter
         across the cluster ordering).  The parts of the update falling on
-        low-rank blocks are compressed and folded in with recompression at
-        tolerance ``self.tol``; parts on dense leaves are added exactly.
+        low-rank blocks are compressed and folded in at tolerance
+        ``self.tol`` — immediately recompressed by default, or appended to
+        per-block :class:`~repro.hmatrix.rk.RkAccumulator` batches with
+        ``accumulate=True`` (flush with :meth:`flush_accumulators`); parts
+        on dense leaves are added exactly.
 
         This is the paper's "Compressed AXPY": ``A_ss_i − Z_i`` in
         compressed multi-solve and ``A_ss_ij + X_ij`` in compressed
-        multi-factorization.
+        multi-factorization.  Equivalent to :meth:`precompress_axpy`
+        followed by :meth:`commit_axpy`; returns the same byte deltas.
+        """
+        plan = self.precompress_axpy(alpha, block, rows, cols,
+                                     compressor=compressor, tracker=tracker)
+        return self.commit_axpy(
+            plan, accumulate=accumulate,
+            max_accumulated_rank=max_accumulated_rank,
+        )
+
+    def precompress_axpy(
+        self,
+        alpha,
+        block: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        compressor: str = "svd",
+        tracker=None,
+    ) -> AxpyPlan:
+        """Pre-compress stage of the compressed AXPY (thread-safe).
+
+        Performs everything expensive about ``self[rows, cols] += alpha *
+        block`` — the index permutation and the SVD/ACA of every quadrant
+        piece — **without mutating the matrix**: it only reads the
+        immutable tree structure, so independent panels can pre-compress
+        concurrently on runtime workers while commits stay serialized.
+        Returns an :class:`AxpyPlan` for :meth:`commit_axpy`.
+
+        ``alpha`` is applied at the leaf/fold level: compressed factors
+        are scaled in place and dense leaf pieces carry the scalar into
+        the commit, so no scaled copy of the full panel is ever made.
+        The one unavoidable temporary — the gather of ``block`` into the
+        cluster-permuted order — is charged to ``tracker`` when one is
+        passed (callers running on the parallel runtime account for it in
+        their task budget instead).
         """
         block = np.asarray(block)
         rows = np.asarray(rows, dtype=np.intp)
@@ -203,11 +394,21 @@ class HMatrix:
         cp = self.tree.inv_perm[cols]
         ro = np.argsort(rp, kind="stable")
         co = np.argsort(cp, kind="stable")
-        sub = alpha * block[np.ix_(ro, co)]
-        self._axpy_node(self.root, rp[ro], cp[co], sub, compressor)
+        plan = AxpyPlan(alpha)
+        if tracker is not None:
+            with tracker.borrow(block.nbytes, category="axpy_gather",
+                                label="permuted AXPY panel"):
+                sub = block[np.ix_(ro, co)]
+                self._plan_node(plan, self.root, rp[ro], cp[co], sub,
+                                compressor)
+        else:
+            sub = block[np.ix_(ro, co)]
+            self._plan_node(plan, self.root, rp[ro], cp[co], sub, compressor)
+        return plan
 
-    def _axpy_node(
+    def _plan_node(
         self,
+        plan: AxpyPlan,
         node: HNode,
         rp: np.ndarray,
         cp: np.ndarray,
@@ -217,50 +418,159 @@ class HMatrix:
         if len(rp) == 0 or len(cp) == 0:
             return
         if node.is_leaf:
-            node.dense[np.ix_(rp - node.start, cp - node.start)] += block.astype(
-                node.dense.dtype, copy=False
-            )
+            plan.leaves.append(_LeafUpdate(
+                node, rp - node.start, cp - node.start, np.array(block)
+            ))
             return
         rcut = int(np.searchsorted(rp, node.mid))
         ccut = int(np.searchsorted(cp, node.mid))
         # diagonal quadrants recurse
-        self._axpy_node(node.h11, rp[:rcut], cp[:ccut], block[:rcut, :ccut], compressor)
-        self._axpy_node(node.h22, rp[rcut:], cp[ccut:], block[rcut:, ccut:], compressor)
-        # off-diagonal quadrants: compress and fold into the Rk blocks
+        self._plan_node(plan, node.h11, rp[:rcut], cp[:ccut],
+                        block[:rcut, :ccut], compressor)
+        self._plan_node(plan, node.h22, rp[rcut:], cp[ccut:],
+                        block[rcut:, ccut:], compressor)
+        # off-diagonal quadrants: compress (the expensive part)
         if rcut > 0 and ccut < len(cp):
-            node.rk12 = self._fold_offdiag(
-                node.rk12,
-                block[:rcut, ccut:],
-                rp[:rcut] - node.start,
-                cp[ccut:] - node.mid,
-                compressor,
+            self._plan_fold(
+                plan, node, "12", block[:rcut, ccut:],
+                rp[:rcut] - node.start, cp[ccut:] - node.mid, compressor,
             )
         if rcut < len(rp) and ccut > 0:
-            node.rk21 = self._fold_offdiag(
-                node.rk21,
-                block[rcut:, :ccut],
-                rp[rcut:] - node.mid,
-                cp[:ccut] - node.start,
-                compressor,
+            self._plan_fold(
+                plan, node, "21", block[rcut:, :ccut],
+                rp[rcut:] - node.mid, cp[:ccut] - node.start, compressor,
             )
 
-    def _fold_offdiag(
+    def _plan_fold(
         self,
-        rk: RkMatrix,
-        update: np.ndarray,
+        plan: AxpyPlan,
+        node: HNode,
+        side: str,
+        piece: np.ndarray,
         local_rows: np.ndarray,
         local_cols: np.ndarray,
         compressor: str,
-    ) -> RkMatrix:
-        m, n = rk.shape
-        small = _compress_dense(update, self.tol, compressor)
+    ) -> None:
+        small = _compress_dense(piece, self.tol, compressor)
+        self._count(panel=1)
         if small.rank == 0:
-            return rk
-        u = np.zeros((m, small.rank), dtype=small.u.dtype)
-        v = np.zeros((n, small.rank), dtype=small.v.dtype)
-        u[local_rows] = small.u
-        v[local_cols] = small.v
-        return rk.add(RkMatrix(u, v), self.tol)
+            return
+        if plan.alpha != 1:
+            # scale the owned factor in place — never the full panel
+            small.u *= plan.alpha
+        plan.folds.append(_FoldUpdate(node, side, small,
+                                      local_rows, local_cols))
+
+    def commit_axpy(
+        self,
+        plan: AxpyPlan,
+        accumulate: bool = False,
+        max_accumulated_rank: Optional[int] = None,
+    ) -> Tuple[int, int]:
+        """Commit stage of the compressed AXPY (must run serialized).
+
+        Applies a plan produced by :meth:`precompress_axpy`: dense leaf
+        pieces are added exactly; pre-compressed off-diagonal pieces are
+        either folded in immediately with a QR+SVD recompression
+        (``accumulate=False``, the historical behaviour) or appended to
+        the block's :class:`~repro.hmatrix.rk.RkAccumulator` and only
+        recompressed when the pending-rank budget trips or
+        :meth:`flush_accumulators` runs.
+
+        Returns ``(store_delta, pending_delta)`` — the byte growth of the
+        compressed structure and of the unflushed accumulators — so owners
+        can maintain tracked sizes incrementally instead of re-walking the
+        tree.  Committing plans in a fixed order makes the result
+        bit-identical for any worker count.
+        """
+        alpha = plan.alpha
+        for upd in plan.leaves:
+            piece = upd.piece.astype(upd.node.dense.dtype, copy=False)
+            target = np.ix_(upd.rows, upd.cols)
+            if alpha == 1:
+                upd.node.dense[target] += piece
+            elif alpha == -1:
+                upd.node.dense[target] -= piece
+            else:
+                upd.node.dense[target] += alpha * piece
+        store_delta = 0
+        pending_delta = 0
+        for upd in plan.folds:
+            node, side = upd.node, upd.side
+            rk = node.rk12 if side == "12" else node.rk21
+            m, n = rk.shape
+            u = np.zeros((m, upd.small.rank), dtype=upd.small.u.dtype)
+            v = np.zeros((n, upd.small.rank), dtype=upd.small.v.dtype)
+            u[upd.rows] = upd.small.u
+            v[upd.cols] = upd.small.v
+            update = RkMatrix(u, v)
+            if accumulate:
+                acc = node.acc12 if side == "12" else node.acc21
+                if acc is None:
+                    acc = RkAccumulator(rk, max_rank=max_accumulated_rank)
+                    if side == "12":
+                        node.acc12 = acc
+                    else:
+                        node.acc21 = acc
+                pending_delta += acc.append(update)
+                self._count(updates=1)
+                if acc.needs_flush:
+                    s_d, p_d = self._flush_side(node, side)
+                    store_delta += s_d
+                    pending_delta += p_d
+            else:
+                new = rk.add(update, self.tol)
+                if side == "12":
+                    node.rk12 = new
+                else:
+                    node.rk21 = new
+                store_delta += new.nbytes - rk.nbytes
+                self._count(updates=1, recomp=1)
+        return store_delta, pending_delta
+
+    def _flush_side(self, node: HNode, side: str) -> Tuple[int, int]:
+        """Flush one off-diagonal accumulator; returns byte deltas."""
+        acc = node.acc12 if side == "12" else node.acc21
+        if acc is None or acc.pending_rank == 0:
+            return 0, 0
+        pending = acc.pending_nbytes
+        old = acc.base.nbytes
+        new = acc.flush(self.tol)
+        if side == "12":
+            node.rk12 = new
+        else:
+            node.rk21 = new
+        self._count(recomp=1)
+        return new.nbytes - old, -pending
+
+    def flush_accumulators(self) -> Tuple[int, int]:
+        """Flush every pending accumulator (one recompression per block).
+
+        Returns the ``(store_delta, pending_delta)`` byte deltas summed
+        over the whole tree.  Idempotent: a second call is a no-op.
+        Call before any operation that reads the bare ``rk12``/``rk21``
+        factors structurally (factorization, copy).
+        """
+        store_delta = 0
+        pending_delta = 0
+
+        def walk(node: HNode) -> None:
+            nonlocal store_delta, pending_delta
+            if node.is_leaf:
+                return
+            for side in ("12", "21"):
+                s_d, p_d = self._flush_side(node, side)
+                store_delta += s_d
+                pending_delta += p_d
+            walk(node.h11)
+            walk(node.h22)
+
+        walk(self.root)
+        return store_delta, pending_delta
+
+    def pending_accumulator_nbytes(self) -> int:
+        """Bytes currently held by unflushed accumulators (tree walk)."""
+        return self.root.pending_nbytes()
 
     # -- low-rank AXPY (used by the hierarchical factorization) -----------------------
     def add_rk(self, rk: RkMatrix) -> None:

@@ -6,15 +6,43 @@ matrices require).  Sums of Rk blocks concatenate the factors and are then
 *recompressed* with the standard QR+SVD rounding — the operation whose cost
 the paper's §IV-A2 dissociated block sizes (``n_c`` vs ``n_S``) trade
 against memory.
+
+:class:`RkAccumulator` batches that recompression: low-rank updates to one
+block are *appended* (factors concatenated, no rounding) until a rank
+budget trips or :meth:`RkAccumulator.flush` runs — the LUAR-style update
+accumulation of BLR/HSS solvers, which turns ``n`` recompressions per
+block into roughly one.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+import os
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.utils.errors import ConfigurationError
+
+#: Environment override of :attr:`SolverConfig.axpy_accumulate` when the
+#: config leaves the switch at ``None``.
+AXPY_ACCUMULATE_ENV = "REPRO_AXPY_ACCUMULATE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+_FALSY = {"0", "false", "no", "off"}
+
+
+def resolve_axpy_accumulate(flag: Optional[bool]) -> bool:
+    """Resolve the deferred-recompression switch: explicit, env, else True."""
+    if flag is not None:
+        return bool(flag)
+    env = os.environ.get(AXPY_ACCUMULATE_ENV, "").strip().lower()
+    if env in _FALSY:
+        return False
+    if env in _TRUTHY or env == "":
+        return True
+    raise ValueError(
+        f"${AXPY_ACCUMULATE_ENV} must be a boolean-ish value, got {env!r}"
+    )
 
 
 def svd_truncate(
@@ -35,7 +63,15 @@ def svd_truncate(
     if min(a.shape) == 0:
         dt = a.dtype if np.issubdtype(a.dtype, np.inexact) else np.float64
         return (np.zeros((a.shape[0], 0), dt), np.zeros((a.shape[1], 0), dt))
-    u, s, vh = np.linalg.svd(a, full_matrices=False)
+    try:
+        u, s, vh = np.linalg.svd(a, full_matrices=False)
+    except np.linalg.LinAlgError:
+        # LAPACK's divide-and-conquer gesdd occasionally fails to converge
+        # on ill-conditioned accumulated factors; the slower but more
+        # robust QR-iteration gesvd driver handles those
+        from scipy.linalg import svd as scipy_svd
+
+        u, s, vh = scipy_svd(a, full_matrices=False, lapack_driver="gesvd")
     ref = float(s[0]) if norm_ref is None else float(norm_ref)
     if ref == 0.0:
         rank = 0
@@ -164,6 +200,133 @@ class RkMatrix:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RkMatrix(shape={self.shape}, rank={self.rank})"
+
+
+class RkAccumulator:
+    """Deferred-recompression accumulator for one low-rank block.
+
+    Wraps a *base* :class:`RkMatrix` and a list of pending low-rank
+    updates.  :meth:`append` concatenates factors without rounding —
+    O(1) in flops — and :meth:`flush` folds everything into the base with
+    a **single** QR+SVD recompression, so ``n`` updates cost one rounding
+    instead of ``n`` (the low-rank update accumulation of BLR solvers).
+
+    ``max_rank`` is the pending-rank budget: when the accumulated (base +
+    pending) rank exceeds it, :attr:`needs_flush` turns true and the owner
+    is expected to flush — unbounded accumulation would grow the factor
+    storage linearly with the update count and make the eventual QR+SVD
+    superlinear.  The accumulator never flushes behind the owner's back,
+    which keeps byte accounting and flush ordering in the owner's hands.
+    """
+
+    __slots__ = ("base", "max_rank", "_us", "_vs",
+                 "n_appends", "n_flushes")
+
+    def __init__(self, base: RkMatrix, max_rank: Optional[int] = None):
+        if max_rank is not None and max_rank < 1:
+            raise ConfigurationError("RkAccumulator max_rank must be >= 1")
+        self.base = base
+        self.max_rank = max_rank
+        self._us: List[np.ndarray] = []
+        self._vs: List[np.ndarray] = []
+        self.n_appends = 0
+        self.n_flushes = 0
+
+    # -- inspection -----------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.base.shape
+
+    @property
+    def pending_rank(self) -> int:
+        return sum(u.shape[1] for u in self._us)
+
+    @property
+    def pending_nbytes(self) -> int:
+        return sum(u.nbytes + v.nbytes
+                   for u, v in zip(self._us, self._vs, strict=True))
+
+    @property
+    def needs_flush(self) -> bool:
+        """True once the pending rank exceeds the configured budget.
+
+        The budget is on the *pending* factors only: gating on the base
+        rank too would thrash (flush on every append) whenever a block's
+        converged rank sits near the budget.
+        """
+        if self.max_rank is None:
+            return False
+        return self.pending_rank > self.max_rank
+
+    # -- algebra over the pending part ---------------------------------------
+    def pending_dense(self) -> np.ndarray:
+        """Dense sum of the pending (unflushed) updates."""
+        m, n = self.base.shape
+        dt = self.base.dtype
+        if self._us:
+            dt = np.result_type(dt, *[u.dtype for u in self._us])
+        out = np.zeros((m, n), dtype=dt)
+        for u, v in zip(self._us, self._vs, strict=True):
+            out += u @ v.T
+        return out
+
+    def pending_matvec(self, x: np.ndarray) -> np.ndarray:
+        """``(sum of pending updates) @ x`` without materialising them."""
+        out = None
+        for u, v in zip(self._us, self._vs, strict=True):
+            term = u @ (v.T @ x)
+            out = term if out is None else out + term
+        if out is None:
+            shape = (self.base.shape[0],) + x.shape[1:]
+            out = np.zeros(shape, dtype=np.result_type(self.base.dtype,
+                                                       x.dtype))
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+    def append(self, rk: RkMatrix) -> int:
+        """Record ``self += rk`` without recompressing.
+
+        Returns the pending bytes the update added (0 for a rank-0 update),
+        so owners can account incrementally.
+        """
+        if rk.shape != self.base.shape:
+            raise ConfigurationError(
+                f"shape mismatch in accumulator append: "
+                f"{rk.shape} vs {self.base.shape}"
+            )
+        if rk.rank == 0:
+            return 0
+        self._us.append(rk.u)
+        self._vs.append(rk.v)
+        self.n_appends += 1
+        return rk.u.nbytes + rk.v.nbytes
+
+    def flush(self, tol: float, max_rank: Optional[int] = None,
+              norm_ref: Optional[float] = None) -> RkMatrix:
+        """Fold every pending update into the base with one recompression.
+
+        Returns the new base (also stored on :attr:`base`).  With no
+        pending updates this is a no-op returning the base unchanged.
+        """
+        if not self._us:
+            return self.base
+        dtype = np.result_type(self.base.dtype,
+                               *[u.dtype for u in self._us])
+        parts_u = ([self.base.u] if self.base.rank else []) + self._us
+        parts_v = ([self.base.v] if self.base.rank else []) + self._vs
+        u = np.hstack([p.astype(dtype, copy=False) for p in parts_u])
+        v = np.hstack([p.astype(dtype, copy=False) for p in parts_v])
+        self._us.clear()
+        self._vs.clear()
+        self.base = RkMatrix(u, v).truncate(tol, max_rank, norm_ref)
+        self.n_flushes += 1
+        return self.base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RkAccumulator(shape={self.shape}, base_rank={self.base.rank}, "
+            f"pending_rank={self.pending_rank})"
+        )
 
 
 def rk_sum(blocks: Sequence[RkMatrix], tol: float,

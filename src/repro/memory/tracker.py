@@ -53,6 +53,10 @@ CATEGORY_DESCRIPTIONS: Dict[str, str] = {
     "solve_workspace": "forward/backward sweep work vector (panel-bounded)",
     "spmm_panel": "dense Z_i accumulation block (compressed multi-solve)",
     "dense_factor": "dense/hierarchical factorization storage",
+    "axpy_accumulator": "pending low-rank factors awaiting deferred "
+                        "recompression (RkAccumulator batches)",
+    "axpy_gather": "cluster-permuted gather of one dense AXPY panel",
+    "axpy_plan": "pre-compressed AXPY plan awaiting commit",
 }
 
 

@@ -72,6 +72,13 @@ def main(argv=None) -> int:
              "multi-factorization blocks (default: $REPRO_REUSE_ANALYSIS "
              "or on; results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--axpy-accumulate", dest="axpy_accumulate",
+        action=argparse.BooleanOptionalAction, default=None,
+        help="defer compressed-AXPY recompression through per-block "
+             "accumulators (default: $REPRO_AXPY_ACCUMULATE or on; off "
+             "restores the immediate-fold behaviour for A/B runs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="Table I: unknown splits")
@@ -105,6 +112,10 @@ def main(argv=None) -> int:
         from repro.sparse.symbolic_cache import REUSE_ANALYSIS_ENV
 
         os.environ[REUSE_ANALYSIS_ENV] = "1" if args.reuse_analysis else "0"
+    if args.axpy_accumulate is not None:
+        from repro.hmatrix.rk import AXPY_ACCUMULATE_ENV
+
+        os.environ[AXPY_ACCUMULATE_ENV] = "1" if args.axpy_accumulate else "0"
     commands = {
         "table1": _cmd_table1,
         "fig10": _cmd_fig10,

@@ -1,0 +1,44 @@
+"""Fixture: deferred-AXPY lifecycle violations (AXPY001/AXPY002/AXPY003).
+
+``RkAccumulator`` batches low-rank updates that stay invisible to the
+flushed factors until ``flush()`` folds them in; a receiver that stages
+updates via the pre-compress/commit methods carries the same obligation.
+"""
+
+
+def RkAccumulator(base, max_rank=None):  # stand-in so the fixture imports
+    raise NotImplementedError
+
+
+def dropped_accumulator(rk, update, tol):
+    acc = RkAccumulator(rk)  # AXPY001 (never flushed, never handed off)
+    acc.append(update)
+
+
+def flushed_accumulator(rk, update, tol):
+    acc = RkAccumulator(rk)
+    acc.append(update)
+    return acc.flush(tol)
+
+
+def handed_off_accumulator(rk, registry):
+    acc = RkAccumulator(rk, max_rank=64)
+    registry.adopt(acc)  # ownership transfers with the call
+
+
+def stage_without_flush(container, panel, rows, cols):
+    plan = container.precompress_subtract(panel, rows, cols)  # AXPY002
+    container.commit(plan)
+
+
+def factorize_before_flush(other, panel, rows, cols, tracker):
+    other.commit(other.precompress_add(panel, rows, cols))
+    other.factorize(tracker)  # AXPY003 (no flush above)
+    other.flush()  # too late — the factors already excluded the batch
+
+
+def clean_staged_lifecycle(pool, panel, rows, cols, tracker):
+    plan = pool.precompress_add(panel, rows, cols)
+    pool.commit(plan)
+    pool.flush()
+    pool.factorize(tracker)

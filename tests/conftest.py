@@ -27,7 +27,8 @@ if (_REPO_ROOT / "tools").is_dir() and str(_REPO_ROOT) not in sys.path:
 from repro.fembem import generate_aircraft_case, generate_pipe_case
 
 #: test modules whose lock usage the watchdog verifies end to end
-_WATCHDOG_MODULES = {"test_runtime", "test_symbolic_cache"}
+_WATCHDOG_MODULES = {"test_runtime", "test_symbolic_cache",
+                     "test_compressed_axpy"}
 
 
 @pytest.fixture(autouse=True)

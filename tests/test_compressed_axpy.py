@@ -1,0 +1,344 @@
+"""Deferred-recompression accumulators and the split compressed AXPY.
+
+Covers the :class:`repro.hmatrix.rk.RkAccumulator` lifecycle, the
+pre-compress/commit split of ``HMatrix.axpy_dense``, the incremental byte
+accounting of the compressed Schur container, and the end-to-end
+guarantees: accuracy within the compression tolerance for randomized
+panel schedules, byte-identical assembled ``S`` across worker counts,
+and a ≥ 2× reduction in off-diagonal recompressions versus the
+immediate-fold path.
+
+This module runs under the lock-order watchdog and tracker-balance
+recorder (see ``conftest.py``): any ABBA-prone lock acquisition or
+unbalanced tracker in the new parallel pre-compress path fails the test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.multi_factorization import solve_multi_factorization
+from repro.core.multi_solve import (
+    assemble_multi_solve,
+    make_multi_solve_context,
+    solve_multi_solve,
+)
+from repro.core.schur_tools import finalize_solution
+from repro.hmatrix.cluster import build_cluster_tree
+from repro.hmatrix.hmatrix import hodlr_from_dense, hodlr_zeros
+from repro.hmatrix.rk import (
+    AXPY_ACCUMULATE_ENV,
+    RkAccumulator,
+    RkMatrix,
+    resolve_axpy_accumulate,
+    svd_truncate,
+)
+from repro.memory.tracker import MemoryTracker
+from repro.utils.errors import ConfigurationError
+
+TOL = 1e-9
+
+
+def _random_rk(rng, m, n, r, dtype=np.float64):
+    return RkMatrix(
+        rng.standard_normal((m, r)).astype(dtype),
+        rng.standard_normal((n, r)).astype(dtype),
+    )
+
+
+# -- RkAccumulator unit tests --------------------------------------------------
+class TestRkAccumulator:
+    def test_append_tracks_pending_rank_and_bytes(self, rng):
+        base = RkMatrix.zeros(40, 30)
+        acc = RkAccumulator(base)
+        total = 0
+        for r in (2, 3, 1):
+            total += acc.append(_random_rk(rng, 40, 30, r))
+        assert acc.pending_rank == 6
+        assert acc.pending_nbytes == total > 0
+        assert acc.n_appends == 3
+        assert acc.n_flushes == 0
+
+    def test_rank_zero_append_is_free(self, rng):
+        acc = RkAccumulator(RkMatrix.zeros(10, 10))
+        assert acc.append(RkMatrix.zeros(10, 10)) == 0
+        assert acc.pending_rank == 0
+
+    def test_shape_mismatch_rejected(self, rng):
+        acc = RkAccumulator(RkMatrix.zeros(10, 10))
+        with pytest.raises(ConfigurationError, match="shape mismatch"):
+            acc.append(_random_rk(rng, 10, 11, 2))
+
+    def test_max_rank_validation(self):
+        with pytest.raises(ConfigurationError, match="max_rank"):
+            RkAccumulator(RkMatrix.zeros(4, 4), max_rank=0)
+
+    def test_flush_equals_eager_sum(self, rng):
+        base = _random_rk(rng, 50, 40, 4)
+        updates = [_random_rk(rng, 50, 40, 2) for _ in range(5)]
+        dense = base.to_dense() + sum(u.to_dense() for u in updates)
+
+        acc = RkAccumulator(base)
+        for u in updates:
+            acc.append(u)
+        out = acc.flush(TOL)
+        assert out is acc.base
+        assert acc.pending_rank == 0
+        assert acc.n_flushes == 1
+        err = np.linalg.norm(out.to_dense() - dense)
+        assert err <= 100 * TOL * np.linalg.norm(dense)
+
+    def test_flush_without_pending_is_noop(self, rng):
+        base = _random_rk(rng, 20, 20, 3)
+        acc = RkAccumulator(base)
+        assert acc.flush(TOL) is base
+        assert acc.n_flushes == 0
+
+    def test_needs_flush_gates_on_pending_rank_only(self, rng):
+        # a converged base rank near the budget must not thrash
+        base = _random_rk(rng, 64, 64, 30)
+        acc = RkAccumulator(base, max_rank=8)
+        assert not acc.needs_flush
+        acc.append(_random_rk(rng, 64, 64, 8))
+        assert not acc.needs_flush
+        acc.append(_random_rk(rng, 64, 64, 1))
+        assert acc.needs_flush
+
+    def test_pending_dense_and_matvec(self, rng):
+        acc = RkAccumulator(RkMatrix.zeros(30, 20))
+        ups = [_random_rk(rng, 30, 20, 2) for _ in range(3)]
+        for u in ups:
+            acc.append(u)
+        dense = sum(u.to_dense() for u in ups)
+        np.testing.assert_allclose(acc.pending_dense(), dense)
+        x = rng.standard_normal((20, 4))
+        np.testing.assert_allclose(acc.pending_matvec(x), dense @ x)
+
+
+# -- gesvd fallback -----------------------------------------------------------
+class TestSvdFallback:
+    def test_gesdd_failure_falls_back_to_gesvd(self, rng, monkeypatch):
+        a = rng.standard_normal((30, 20))
+
+        def failing_svd(*args, **kwargs):
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(np.linalg, "svd", failing_svd)
+        u, v = svd_truncate(a, 1e-12)
+        err = np.linalg.norm(u @ v.T - a) / np.linalg.norm(a)
+        assert err < 1e-10
+
+    def test_fallback_respects_truncation(self, rng, monkeypatch):
+        u0, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        v0, _ = np.linalg.qr(rng.standard_normal((40, 40)))
+        s = np.zeros(40)
+        s[:5] = [10.0, 5.0, 2.0, 1.0, 0.5]
+        a = (u0 * s) @ v0.T
+
+        def failing_svd(*args, **kwargs):
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(np.linalg, "svd", failing_svd)
+        u, v = svd_truncate(a, 1e-3)
+        assert u.shape[1] == 5
+
+
+# -- HMatrix pre-compress / commit / flush ------------------------------------
+class TestSplitAxpy:
+    @pytest.fixture()
+    def tree_and_target(self, rng):
+        n = 160
+        pts = rng.random((n, 3))
+        tree = build_cluster_tree(pts, leaf_size=24)
+        return n, tree
+
+    def test_randomized_panels_stay_within_tolerance(self, tree_and_target,
+                                                     rng):
+        """Property-style: random panel orders/sizes, accumulation on."""
+        n, tree = tree_and_target
+        tol = 1e-8
+        for trial in range(3):
+            hm = hodlr_zeros(tree, tol, np.float64)
+            target = np.zeros((n, n))
+            for _ in range(8):
+                rows = np.sort(rng.choice(n, size=rng.integers(20, n),
+                                          replace=False))
+                cols = np.sort(rng.choice(n, size=rng.integers(10, 80),
+                                          replace=False))
+                alpha = rng.choice([-1.0, 1.0])
+                panel = rng.standard_normal((len(rows), len(cols)))
+                target[np.ix_(rows, cols)] += alpha * panel
+                hm.axpy_dense(alpha, panel, rows, cols, accumulate=True,
+                              max_accumulated_rank=32)
+            hm.flush_accumulators()
+            err = np.linalg.norm(hm.to_dense() - target)
+            assert err <= 100 * tol * max(1.0, np.linalg.norm(target))
+            assert hm.pending_accumulator_nbytes() == 0
+
+    def test_reads_include_pending_state(self, tree_and_target, rng):
+        n, tree = tree_and_target
+        hm = hodlr_zeros(tree, 1e-10, np.float64)
+        panel = rng.standard_normal((n, 40))
+        cols = np.arange(40)
+        hm.axpy_dense(-1.0, panel, np.arange(n), cols, accumulate=True)
+        assert hm.pending_accumulator_nbytes() > 0
+        target = np.zeros((n, n))
+        target[:, :40] = -panel
+        # to_dense and matvec must see the unflushed updates
+        assert np.linalg.norm(hm.to_dense() - target) <= 1e-8
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(hm.matvec(x), target @ x, atol=1e-8)
+        # nbytes includes the pending factors
+        assert hm.nbytes() >= hm.pending_accumulator_nbytes()
+
+    def test_deltas_track_tree_walk_exactly(self, tree_and_target, rng):
+        """Incremental accounting invariant: deltas == full re-walk."""
+        n, tree = tree_and_target
+        hm = hodlr_zeros(tree, 1e-8, np.float64)
+        store = hm.nbytes()
+        pending = 0
+        for k in range(6):
+            cols = np.arange(k * 25, min(n, (k + 1) * 25))
+            panel = rng.standard_normal((n, len(cols)))
+            s_d, p_d = hm.axpy_dense(1.0, panel, np.arange(n), cols,
+                                     accumulate=True,
+                                     max_accumulated_rank=16)
+            store += s_d
+            pending += p_d
+            assert pending == hm.pending_accumulator_nbytes()
+            assert store + pending == hm.nbytes()
+        s_d, p_d = hm.flush_accumulators()
+        store += s_d
+        pending += p_d
+        assert pending == 0
+        assert store == hm.nbytes()
+
+    def test_budget_trip_flushes_midstream(self, tree_and_target, rng):
+        n, tree = tree_and_target
+        hm = hodlr_zeros(tree, 1e-8, np.float64)
+        for k in range(5):
+            panel = rng.standard_normal((n, 30))
+            hm.axpy_dense(1.0, panel, np.arange(n),
+                          np.arange(30 * k, 30 * (k + 1)),
+                          accumulate=True, max_accumulated_rank=4)
+        # tiny budget: mid-stream flushes happened before the final one
+        assert hm.n_offdiag_recompressions > 0
+
+    def test_copy_with_pending_state_is_rejected(self, tree_and_target, rng):
+        n, tree = tree_and_target
+        hm = hodlr_zeros(tree, 1e-8, np.float64)
+        hm.axpy_dense(1.0, rng.standard_normal((n, 20)), np.arange(n),
+                      np.arange(20), accumulate=True)
+        with pytest.raises(ConfigurationError, match="unflushed"):
+            hm.copy()
+        hm.flush_accumulators()
+        hm.copy()  # flushed: fine
+
+    def test_gather_temporary_is_charged(self, rng):
+        n = 96
+        pts = rng.random((n, 3))
+        tree = build_cluster_tree(pts, leaf_size=24)
+        a = rng.standard_normal((n, n))
+        hm = hodlr_from_dense(a, tree, tol=1e-8)
+        tracker = MemoryTracker()
+        panel = rng.standard_normal((n, 32))
+        hm.axpy_dense(-1.0, panel, np.arange(n), np.arange(32),
+                      tracker=tracker)
+        assert tracker.peak_categories.get("axpy_gather", 0) >= panel.nbytes
+        assert tracker.in_use == 0
+
+    def test_precompress_plan_is_pure(self, tree_and_target, rng):
+        """precompress mutates nothing until commit applies the plan."""
+        n, tree = tree_and_target
+        hm = hodlr_zeros(tree, 1e-8, np.float64)
+        before = hm.to_dense().copy()
+        plan = hm.precompress_axpy(1.0, rng.standard_normal((n, 30)),
+                                   np.arange(n), np.arange(30))
+        np.testing.assert_array_equal(hm.to_dense(), before)
+        assert plan.nbytes > 0
+        hm.commit_axpy(plan)
+        assert np.linalg.norm(hm.to_dense() - before) > 0
+
+
+# -- config / env resolution ---------------------------------------------------
+class TestAccumulateConfig:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(AXPY_ACCUMULATE_ENV, "0")
+        assert resolve_axpy_accumulate(True) is True
+        assert SolverConfig(axpy_accumulate=True).effective_axpy_accumulate
+
+    def test_env_fallback_and_default(self, monkeypatch):
+        monkeypatch.delenv(AXPY_ACCUMULATE_ENV, raising=False)
+        assert resolve_axpy_accumulate(None) is True
+        monkeypatch.setenv(AXPY_ACCUMULATE_ENV, "off")
+        assert resolve_axpy_accumulate(None) is False
+        assert not SolverConfig().effective_axpy_accumulate
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(AXPY_ACCUMULATE_ENV, "maybe")
+        with pytest.raises(ValueError, match="boolean"):
+            resolve_axpy_accumulate(None)
+
+    def test_rank_budget_validated(self):
+        with pytest.raises(ConfigurationError, match="axpy_max_accumulated"):
+            SolverConfig(axpy_max_accumulated_rank=0)
+
+
+# -- end-to-end: determinism, accuracy, recompression reduction ----------------
+def _assemble_compressed(problem, **cfg_kwargs):
+    config = SolverConfig(dense_backend="hmat", n_c=64, n_s_block=256,
+                          **cfg_kwargs)
+    ctx = make_multi_solve_context(problem, config)
+    mf, container, sparse_bytes = assemble_multi_solve(ctx)
+    s_dense = container.s.to_dense()
+    recompressions = container.s.n_offdiag_recompressions
+    sol = finalize_solution(ctx, mf, container, sparse_bytes)
+    return s_dense, recompressions, sol
+
+
+class TestEndToEnd:
+    def test_schur_byte_identical_across_worker_counts(self, pipe_small):
+        s1, _, sol1 = _assemble_compressed(pipe_small, axpy_accumulate=True,
+                                           n_workers=1)
+        s4, _, sol4 = _assemble_compressed(pipe_small, axpy_accumulate=True,
+                                           n_workers=4)
+        assert np.array_equal(s1, s4)
+        assert np.array_equal(sol1.x_s, sol4.x_s)
+        assert np.array_equal(sol1.x_v, sol4.x_v)
+
+    def test_accumulation_reduces_recompressions(self, pipe_small):
+        _, rec_on, sol_on = _assemble_compressed(pipe_small,
+                                                 axpy_accumulate=True)
+        _, rec_off, sol_off = _assemble_compressed(pipe_small,
+                                                   axpy_accumulate=False)
+        assert rec_on * 2 <= rec_off
+        assert sol_on.relative_error <= SolverConfig().epsilon
+        assert sol_off.relative_error <= SolverConfig().epsilon
+
+    def test_multi_factorization_accumulate_matches_modes(self, pipe_small):
+        config = SolverConfig(dense_backend="hmat", n_b=2, n_c=64)
+        on = solve_multi_factorization(
+            pipe_small, config.with_(axpy_accumulate=True))
+        off = solve_multi_factorization(
+            pipe_small, config.with_(axpy_accumulate=False))
+        eps = config.epsilon
+        assert on.relative_error <= eps
+        assert off.relative_error <= eps
+
+    def test_multi_factorization_identical_across_workers(self, pipe_small):
+        config = SolverConfig(dense_backend="hmat", n_b=2, n_c=64,
+                              axpy_accumulate=True)
+        s1 = solve_multi_factorization(pipe_small, config.with_(n_workers=1))
+        s4 = solve_multi_factorization(pipe_small, config.with_(n_workers=4))
+        assert np.array_equal(s1.x_s, s4.x_s)
+        assert np.array_equal(s1.x_v, s4.x_v)
+
+    def test_stats_record_accumulate_flag(self, pipe_small):
+        sol = solve_multi_solve(
+            pipe_small,
+            SolverConfig(dense_backend="hmat", axpy_accumulate=True),
+        )
+        assert sol.stats.params["axpy_accumulate"] is True
+        assert "axpy_accumulator" in sol.stats.peak_by_category

@@ -81,9 +81,31 @@ class TestHodlrContainer:
         n = pipe_small.n_bem
         c.subtract_block(rng.standard_normal((n, 40)), np.arange(n),
                          np.arange(40))
+        # growth lands in the pending accumulators until flush; store +
+        # pending always covers the tree exactly
+        store = tracker.category_in_use("schur_store")
+        pending = tracker.category_in_use("axpy_accumulator")
+        assert store + pending == c.s.nbytes()
+        assert pending == c.s.pending_accumulator_nbytes()
+        assert pending > 0
+        c.flush()
         after = tracker.category_in_use("schur_store")
+        assert tracker.category_in_use("axpy_accumulator") == 0
         assert after == c.s.nbytes()
         assert after != before
+        c.free()
+        tracker.assert_all_freed()
+
+    def test_tracked_bytes_immediate_fold(self, pipe_small, tracker, rng):
+        c = HodlrSchurContainer(
+            pipe_small,
+            SolverConfig(dense_backend="hmat", axpy_accumulate=False),
+            tracker)
+        n = pipe_small.n_bem
+        c.subtract_block(rng.standard_normal((n, 40)), np.arange(n),
+                         np.arange(40))
+        assert tracker.category_in_use("axpy_accumulator") == 0
+        assert tracker.category_in_use("schur_store") == c.s.nbytes()
         c.free()
         tracker.assert_all_freed()
 

@@ -118,6 +118,38 @@ class TestSchurChecker:
         assert len(empties) == 1
 
 
+class TestAxpyChecker:
+    def test_fixture_findings(self):
+        found = run_checkers([str(FIXTURES / "axpy_misuse.py")],
+                             only=["axpy-discipline"])
+        assert {"AXPY001", "AXPY002", "AXPY003"} == codes(found)
+
+    def test_dropped_accumulator_is_at_constructor(self):
+        found = run_checkers([str(FIXTURES / "axpy_misuse.py")],
+                             only=["axpy-discipline"])
+        text = (FIXTURES / "axpy_misuse.py").read_text().splitlines()
+        ctor_line = next(i + 1 for i, l in enumerate(text)
+                         if "AXPY001 (never flushed" in l)
+        assert any(f.code == "AXPY001" and f.line == ctor_line
+                   for f in found)
+
+    def test_clean_lifecycles_contribute_nothing(self):
+        found = run_checkers([str(FIXTURES / "axpy_misuse.py")],
+                             only=["axpy-discipline"])
+        for clean in ("flushed_accumulator", "handed_off_accumulator",
+                      "clean_staged_lifecycle", "'pool"):
+            assert all(clean not in f.message for f in found)
+
+    def test_late_flush_still_flags_factorize(self):
+        # factorize_before_flush flushes *after* factorize: AXPY003 fires
+        # and the late flush does not double as an AXPY002 excuse
+        found = run_checkers([str(FIXTURES / "axpy_misuse.py")],
+                             only=["axpy-discipline"])
+        assert sum(1 for f in found if f.code == "AXPY003") == 1
+        assert all("other" not in f.message for f in found
+                   if f.code == "AXPY002")
+
+
 class TestDtypeChecker:
     def test_fixture_findings(self):
         found = run_checkers(
@@ -155,8 +187,8 @@ class TestRepositoryClean:
 
     def test_all_checkers_registered(self):
         names = sorted(cls.name for cls in ALL_CHECKERS)
-        assert names == ["dense-schur", "dtype-safety", "lock-discipline",
-                         "resource-discipline"]
+        assert names == ["axpy-discipline", "dense-schur", "dtype-safety",
+                         "lock-discipline", "resource-discipline"]
 
 
 # -- runtime watchdog ----------------------------------------------------------

@@ -24,6 +24,12 @@ express; each checker turns one of them into a CI-enforced contract:
     must not hard-code real dtypes where a problem dtype is in scope
     (silent complex -> real truncation).
 
+``axpy-discipline``
+    Deferred-recompression accumulators (the batched compressed AXPY)
+    must be flushed on every path: a constructed ``RkAccumulator`` must
+    flush or escape, a receiver with staged updates must see a flush in
+    the module, and ``factorize()`` must be preceded by one.
+
 See ``docs/static_analysis.md`` for the conventions and how to extend the
 suite.  The runtime companion (:mod:`tools.analysis.watchdog`) records the
 actual lock-acquisition graph during the concurrency tests and fails on
@@ -31,6 +37,7 @@ cycles.
 """
 
 from tools.analysis.base import Checker, Finding, ModuleSource, iter_sources
+from tools.analysis.axpy import AxpyDisciplineChecker
 from tools.analysis.dtype_safety import DtypeSafetyChecker
 from tools.analysis.locks import LockDisciplineChecker
 from tools.analysis.resource import ResourceDisciplineChecker
@@ -42,10 +49,12 @@ ALL_CHECKERS = (
     LockDisciplineChecker,
     DenseSchurChecker,
     DtypeSafetyChecker,
+    AxpyDisciplineChecker,
 )
 
 __all__ = [
     "ALL_CHECKERS",
+    "AxpyDisciplineChecker",
     "Checker",
     "DenseSchurChecker",
     "DtypeSafetyChecker",

@@ -1,0 +1,208 @@
+"""axpy-discipline: deferred-recompression accumulators must be flushed.
+
+The deferred compressed AXPY (:class:`repro.hmatrix.rk.RkAccumulator`,
+``HMatrix.commit_axpy``/``flush_accumulators`` and the Schur container's
+``precompress_*``/``commit``/``flush``) stages low-rank updates that are
+**invisible to the flushed factors** until a flush folds them in.  Three
+lexical contracts keep that state from being dropped silently:
+
+* a constructed ``RkAccumulator`` bound to a local must be flushed or
+  escape (returned, stored, passed on) within the function — an
+  accumulator that dies with pending state drops its updates (AXPY001);
+* a receiver that stages deferred updates (any commit/pre-compress method
+  from :data:`tools.analysis.config.AXPY_COMMIT_METHODS`) must have a
+  flush call on the *same receiver* somewhere in the module (AXPY002);
+* a ``factorize()`` on a receiver with staged updates must be preceded
+  (lexically) by a flush on that receiver — factoring with pending
+  accumulators would silently exclude them from the factors (AXPY003).
+
+Classes that *define* a flush method (``flush``/``flush_accumulators``)
+are lifecycle providers — their ``self``-rooted staging calls forward the
+obligation to their callers and are exempt.  Waive individual findings
+with ``# axpy-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.analysis.base import (
+    Checker,
+    Finding,
+    ModuleSource,
+    attribute_chain,
+    receiver_root,
+)
+from tools.analysis.config import (
+    AXPY_ACCUMULATOR_CONSTRUCTORS,
+    AXPY_COMMIT_METHODS,
+    AXPY_FACTORIZE_METHODS,
+    AXPY_FLUSH_METHODS,
+)
+
+
+def _receiver_key(func: ast.AST) -> Optional[str]:
+    """Dotted receiver of a method call (``self.s.commit_axpy`` -> self.s)."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    root = receiver_root(func)
+    if root is None:
+        return None
+    chain = attribute_chain(func)
+    return ".".join([root] + chain[:-1])
+
+
+def _flush_provider_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """Classes defining a flush method (lifecycle providers)."""
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if (isinstance(child, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef))
+                        and child.name in AXPY_FLUSH_METHODS):
+                    out.append(node)
+                    break
+    return out
+
+
+class AxpyDisciplineChecker(Checker):
+    name = "axpy-discipline"
+    waiver = "axpy-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        providers = _flush_provider_classes(mod.tree)
+        provider_spans = [
+            (cls.lineno, getattr(cls, "end_lineno", cls.lineno))
+            for cls in providers
+        ]
+
+        def in_provider(line: int) -> bool:
+            return any(lo <= line <= hi for lo, hi in provider_spans)
+
+        commits: Dict[str, List[int]] = {}
+        flushes: Dict[str, List[int]] = {}
+        factorizes: Dict[str, List[int]] = {}
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            key = _receiver_key(node.func)
+            if key is None:
+                continue
+            if key.split(".")[0] == "self" and in_provider(node.lineno):
+                continue
+            attr = node.func.attr
+            if attr in AXPY_COMMIT_METHODS:
+                commits.setdefault(key, []).append(node.lineno)
+            elif attr in AXPY_FLUSH_METHODS:
+                flushes.setdefault(key, []).append(node.lineno)
+            elif attr in AXPY_FACTORIZE_METHODS:
+                factorizes.setdefault(key, []).append(node.lineno)
+
+        for key, lines in sorted(commits.items()):
+            first = min(lines)
+            if key not in flushes and key not in factorizes:
+                f = self.finding(
+                    mod, "AXPY002", first,
+                    f"'{key}' stages deferred AXPY updates here but is "
+                    f"never flushed in this module — pending accumulator "
+                    f"state would be dropped (call {key}.flush())",
+                )
+                if f is not None:
+                    findings.append(f)
+                continue
+            for fact_line in factorizes.get(key, []):
+                staged_before = any(c < fact_line for c in lines)
+                flushed_before = any(
+                    fl < fact_line for fl in flushes.get(key, [])
+                )
+                if staged_before and not flushed_before:
+                    f = self.finding(
+                        mod, "AXPY003", fact_line,
+                        f"'{key}.factorize()' with deferred updates staged "
+                        f"above and no lexically earlier '{key}.flush()' — "
+                        f"pending accumulators would be silently excluded "
+                        f"from the factors",
+                    )
+                    if f is not None:
+                        findings.append(f)
+
+        findings += self._check_local_accumulators(mod)
+        return findings
+
+    # -- AXPY001: locally constructed accumulators ---------------------------
+    def _check_local_accumulators(self, mod: ModuleSource) -> List[Finding]:
+        findings: List[Finding] = []
+        for scope in ast.walk(mod.tree):
+            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            constructed: Dict[str, int] = {}
+            for stmt in scope.body:
+                self._collect_constructions(stmt, constructed)
+            if not constructed:
+                continue
+            cleared = self._cleared_names(scope, constructed)
+            for name, line in sorted(constructed.items()):
+                if name in cleared:
+                    continue
+                f = self.finding(
+                    mod, "AXPY001", line,
+                    f"accumulator '{name}' constructed here is neither "
+                    f"flushed nor handed off in function {scope.name} — "
+                    f"its pending updates die with it",
+                )
+                if f is not None:
+                    findings.append(f)
+        return findings
+
+    def _collect_constructions(self, stmt: ast.stmt,
+                               out: Dict[str, int]) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in AXPY_ACCUMULATOR_CONSTRUCTORS
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                out[node.targets[0].id] = node.lineno
+
+    def _cleared_names(self, scope: ast.AST,
+                       constructed: Dict[str, int]) -> Set[str]:
+        """Names that reach a flush or escape the function."""
+        cleared: Set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call):
+                # acc.flush(...) clears the obligation
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in AXPY_FLUSH_METHODS
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id in constructed):
+                    cleared.add(node.func.value.id)
+                # passing the accumulator to another call hands it off
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    for sub in ast.walk(arg):
+                        if (isinstance(sub, ast.Name)
+                                and sub.id in constructed):
+                            cleared.add(sub.id)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id in constructed:
+                        cleared.add(sub.id)
+            elif isinstance(node, ast.Assign):
+                # storing it (attribute, container, other name) hands the
+                # lifetime to the target's owner — unless the RHS is the
+                # constructing call itself
+                if (isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Name)
+                        and node.value.func.id
+                        in AXPY_ACCUMULATOR_CONSTRUCTORS):
+                    continue
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id in constructed:
+                        cleared.add(sub.id)
+        return cleared

@@ -9,7 +9,8 @@ mechanism of the suite:
     while holding ``self.<lock>`` (consumed by lock-discipline).
 
 ``# schur-ok: <reason>`` / ``# dtype-ok: <reason>`` /
-``# resource-ok: <reason>`` / ``# lock-ok: <reason>``
+``# resource-ok: <reason>`` / ``# lock-ok: <reason>`` /
+``# axpy-ok: <reason>``
     Waive findings of the corresponding checker on this line.  A reason is
     mandatory — a waiver without justification is itself reported.
 """
@@ -31,10 +32,11 @@ MARKER_KINDS = {
     "dtype-ok": True,
     "resource-ok": True,
     "lock-ok": True,
+    "axpy-ok": True,
 }
 
 _MARKER_RE = re.compile(
-    r"#\s*(?P<kind>guarded-by|schur-ok|dtype-ok|resource-ok|lock-ok)"
+    r"#\s*(?P<kind>guarded-by|schur-ok|dtype-ok|resource-ok|lock-ok|axpy-ok)"
     r"\s*(?::\s*(?P<value>.*?))?\s*$"
 )
 

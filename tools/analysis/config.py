@@ -45,6 +45,7 @@ LOCK_HIERARCHY = (
     "_lock",         # repro.utils.timer.PhaseTimer (phase accumulator)
     "_cache_lock",   # repro.sparse.symbolic_cache.SymbolicCache (leaf)
     "_stats_lock",   # repro.sparse.solver.SparseSolver counters (leaf)
+    "_axpy_lock",    # repro.hmatrix.hmatrix.HMatrix AXPY counters (leaf)
 )
 
 #: Methods exempt from the guarded-attribute rule: construction happens
@@ -70,6 +71,29 @@ SCHUR_IDENTIFIERS = frozenset({
 
 #: ``X.n_bem``-style attribute spelling of the dense-Schur dimension.
 SCHUR_DIM_ATTRS = frozenset({"n_bem"})
+
+# -- axpy-discipline ----------------------------------------------------------
+
+#: Constructors returning a deferred-recompression accumulator.  The
+#: accumulator holds *pending* low-rank updates that are invisible to the
+#: flushed factors until ``flush()`` folds them in — constructing one
+#: creates an obligation to flush (or hand the accumulator off) on every
+#: path, or the updates it batches are silently dropped.
+AXPY_ACCUMULATOR_CONSTRUCTORS = frozenset({"RkAccumulator"})
+
+#: Methods that stage deferred updates on a receiver (a compressed Schur
+#: container or an HMatrix): the receiver may now carry pending state.
+AXPY_COMMIT_METHODS = frozenset({
+    "commit", "commit_axpy",
+    "precompress_subtract", "precompress_add", "precompress_axpy",
+})
+
+#: Methods that fold pending state in (clear the obligation).
+AXPY_FLUSH_METHODS = frozenset({"flush", "flush_accumulators"})
+
+#: Factorize entry points that silently drop pending accumulator state —
+#: a flush on the same receiver must precede them lexically.
+AXPY_FACTORIZE_METHODS = frozenset({"factorize"})
 
 # -- dtype-safety -------------------------------------------------------------
 
