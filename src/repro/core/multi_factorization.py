@@ -49,7 +49,9 @@ from repro.core.schur_tools import (
     make_schur_container,
 )
 from repro.fembem.cases import CoupledProblem
-from repro.runtime import PanelTask, ParallelRuntime
+from repro.hmatrix.hmatrix import HMatrix
+from repro.memory.tracker import MemoryTracker
+from repro.runtime import PanelTask, make_runtime
 from repro.sparse.multifrontal import FrontArena
 from repro.sparse.solver import SparseSolver
 from repro.sparse.symbolic_cache import SymbolicCache
@@ -58,6 +60,105 @@ from repro.sparse.symbolic_cache import SymbolicCache
 def _surface_blocks(n_s: int, n_b: int):
     """Split the surface indices into ``n_b`` contiguous near-equal blocks."""
     return np.array_split(np.arange(n_s), min(n_b, n_s))
+
+
+# -- process-backend worker context and kernel ----------------------------------
+#
+# Module-level (hence picklable) counterpart of the ``block_task`` closure,
+# run inside worker processes by :class:`repro.runtime.ProcessRuntime`.
+# Each worker owns a private sparse solver (fresh untracked tracker, its
+# own symbolic cache and front arena); the factors of non-final blocks die
+# in the worker — only the Schur block (dense, via a shared-memory slab)
+# or its pre-compressed portable plan travels back.  The *last* block runs
+# inline on the coordinator so its factors stay available for the
+# right-hand-side solves.
+
+
+def _facto_worker_ctx(payload):
+    """Pool-initializer builder: per-process solver state from the payload."""
+    tracker = MemoryTracker()
+    payload["sparse"] = SparseSolver(
+        ordering=payload["ordering"],
+        leaf_size=payload["nd_leaf_size"],
+        amalgamate=payload["amalgamate"],
+        blr=payload["blr"],
+        tracker=tracker,
+        symbolic_cache=SymbolicCache() if payload["reuse_analysis"] else None,
+    )
+    payload["arena"] = FrontArena(tracker)
+    payload["sym_counts"] = [0, 0]  # (analyses, reuses) last reported
+    return payload
+
+
+def _build_w_block(a_vv, a_sv, rows_i, cols_j, dtype):
+    """``W = [[A_vv, A_sv_jᵀ], [A_sv_i, 0]]`` padded to a square Schur block."""
+    n_v = a_vv.shape[0]
+    k_i, k_j = len(rows_i), len(cols_j)
+    k = max(k_i, k_j)
+    a_sv_i = a_sv[rows_i]
+    a_sv_j_t = a_sv[cols_j].T
+    # the Schur feature operates on a square block: pad the thinner
+    # coupling block with structurally empty Schur variables
+    if k_i < k:
+        pad = sp.csr_matrix((k - k_i, n_v), dtype=dtype)
+        c_block = sp.vstack([a_sv_i, pad], format="csr")
+    else:
+        c_block = a_sv_i
+    if k_j < k:
+        pad = sp.csr_matrix((n_v, k - k_j), dtype=dtype)
+        b_block = sp.hstack([a_sv_j_t, pad], format="csr")
+    else:
+        b_block = a_sv_j_t
+    w = sp.bmat([[a_vv, b_block], [c_block, None]], format="csr")
+    return w, np.arange(n_v, n_v + k)
+
+
+def _facto_block_kernel(w, timer, i: int, j: int):
+    """One W-block factorization+Schur on a worker process.
+
+    Returns ``(factor_bytes, d_analyses, d_reuses, X_or_plan)`` — the
+    4-tuple shape the consumer uses to tell a worker result from the
+    thread backend's ``(mf_ij, plan)``.
+    """
+    blocks = w["blocks"]
+    rows_i, cols_j = blocks[i], blocks[j]
+    k_i, k_j = len(rows_i), len(cols_j)
+    w_mat, schur_vars = _build_w_block(
+        w["a_vv"], w["a_sv"], rows_i, cols_j, w["dtype"]
+    )
+    symmetric_block = (
+        w["exploit_diag_sym"] and w["symmetric"] and i == j and k_i == k_j
+    )
+    sparse = w["sparse"]
+    with timer.phase("sparse_factorization_schur"):
+        mf_ij = sparse.factorize_schur(
+            w_mat, schur_vars, coords_interior=w["coords_v"],
+            symmetric_values=symmetric_block,
+            timer=timer, arena=w["arena"],
+        )
+    factor_bytes = mf_ij.factor_bytes
+    d_an = sparse.n_symbolic_analyses - w["sym_counts"][0]
+    d_re = sparse.n_symbolic_reuses - w["sym_counts"][1]
+    w["sym_counts"] = [sparse.n_symbolic_analyses, sparse.n_symbolic_reuses]
+    x_block, x_alloc = mf_ij.take_schur()
+    skel = w.get("skeleton")
+    if skel is not None and w["accumulate"]:
+        before = skel.n_panel_compressions
+        with timer.phase("schur_precompress"):
+            # axpy-ok: skeleton stages nothing; plan commits+flushes on tree
+            plan = skel.precompress_axpy(
+                1.0, x_block[:k_i, :k_j], rows_i, cols_j,
+                compressor=w["compressor"],
+            )
+        body = HMatrix.export_plan(
+            plan, skel.n_panel_compressions - before
+        )
+    else:
+        body = np.ascontiguousarray(x_block[:k_i, :k_j])
+    del x_block
+    x_alloc.free()
+    mf_ij.free()
+    return factor_bytes, d_an, d_re, body
 
 
 def make_multi_factorization_context(
@@ -99,14 +200,35 @@ def assemble_multi_factorization(ctx: RunContext):
     with ctx.timer.phase("schur_init"):
         container = make_schur_container(problem, config, ctx.tracker)
 
-    n_v = problem.n_fem
     blocks = _surface_blocks(problem.n_bem, config.n_b)
     n_blocks = len(blocks)
     itemsize = np.dtype(problem.dtype).itemsize
     state = {"mf": None, "factor_bytes": 0}
     accumulate = compressed and config.effective_axpy_accumulate
-    runtime = ParallelRuntime(
-        ctx.tracker, n_workers=ctx.n_workers, name="multi-facto"
+    backend = ctx.runtime_backend
+    worker_payload = None
+    if backend == "process":
+        worker_payload = {
+            "a_vv": problem.a_vv,
+            "a_sv": problem.a_sv,
+            "coords_v": problem.coords_v,
+            "symmetric": problem.symmetric,
+            "dtype": problem.dtype,
+            "blocks": blocks,
+            "ordering": config.ordering,
+            "nd_leaf_size": config.nd_leaf_size,
+            "amalgamate": config.amalgamate,
+            "blr": config.blr_config(),
+            "reuse_analysis": config.effective_reuse_analysis,
+            "exploit_diag_sym": config.mf_exploit_diagonal_symmetry,
+            "accumulate": accumulate,
+        }
+        if accumulate:
+            worker_payload["skeleton"] = container.structure_skeleton()
+            worker_payload["compressor"] = config.compressor
+    runtime = make_runtime(
+        ctx.tracker, ctx.n_workers, "multi-facto", backend=backend,
+        worker_payload=worker_payload, worker_builder=_facto_worker_ctx,
     )
 
     def block_task(seq: int, i: int, j: int, is_last: bool) -> PanelTask:
@@ -116,23 +238,9 @@ def assemble_multi_factorization(ctx: RunContext):
         k = max(k_i, k_j)
 
         def fn(timer, alloc):
-            a_sv_i = problem.a_sv[rows_i]
-            a_sv_j_t = problem.a_sv[cols_j].T
-            # the Schur feature operates on a square block: pad the thinner
-            # coupling block with structurally empty Schur variables
-            if k_i < k:
-                pad = sp.csr_matrix((k - k_i, n_v), dtype=problem.dtype)
-                c_block = sp.vstack([a_sv_i, pad], format="csr")
-            else:
-                c_block = a_sv_i
-            if k_j < k:
-                pad = sp.csr_matrix((n_v, k - k_j), dtype=problem.dtype)
-                b_block = sp.hstack([a_sv_j_t, pad], format="csr")
-            else:
-                b_block = a_sv_j_t
-            w = sp.bmat([[problem.a_vv, b_block], [c_block, None]],
-                        format="csr")
-            schur_vars = np.arange(n_v, n_v + k)
+            w, schur_vars = _build_w_block(
+                problem.a_vv, problem.a_sv, rows_i, cols_j, problem.dtype
+            )
             # W is non-symmetric except when i == j; the paper's solvers
             # offer no way to switch ("we can not rely on a symmetric mode
             # of the direct solver"), so the faithful default pays the
@@ -183,18 +291,39 @@ def assemble_multi_factorization(ctx: RunContext):
             category="schur_block",
             label=f"W block ({i},{j})",
             payload=(i, j, is_last),
+            kernel=_facto_block_kernel,
+            kernel_args=(i, j),
+            result_nbytes=0 if accumulate else k * k * itemsize,
+            # the last block's factors must live in the coordinator for
+            # the right-hand-side solves; the process backend runs it
+            # there once the pool has drained
+            inline=is_last,
         )
 
     def consume(task, result):
-        mf_ij, plan = result
         i, j, is_last = task.payload
         rows_i, cols_j = blocks[i], blocks[j]
         k_i, k_j = len(rows_i), len(cols_j)
         ctx.n_sparse_factorizations += 1
+        phase = "schur_compression" if compressed else "schur_assembly"
+        if len(result) == 4:
+            # process-backend worker result: the block's factors died in
+            # the worker — only the Schur body (dense or portable plan)
+            # and its instrumentation deltas came back
+            factor_bytes, d_an, d_re, body = result
+            ctx.n_symbolic_analyses += d_an
+            ctx.n_symbolic_reuses += d_re
+            state["factor_bytes"] = max(state["factor_bytes"], factor_bytes)
+            with ctx.timer.phase(phase):
+                if isinstance(body, np.ndarray):
+                    container.add_block(body, rows_i, cols_j)
+                else:
+                    container.commit(body)
+            return
+        mf_ij, plan = result
         state["factor_bytes"] = max(
             state["factor_bytes"], mf_ij.factor_bytes
         )
-        phase = "schur_compression" if compressed else "schur_assembly"
         if plan is not None:
             # pre-compressed on the worker: only the cheap ordered commit
             # (accumulator appends) runs on the turnstile

@@ -52,6 +52,11 @@ class SolveStats:
     #: Total time workers spent blocked in the scheduler (admission
     #: control waiting for memory budget + ordered-admission turnstile).
     scheduler_wait_seconds: float = 0.0
+    #: Coordinator wall-clock seconds inside the runtime's ``run()`` calls
+    #: — the parallelisable assembly window.  Unlike ``phases`` (worker
+    #: time, sums across workers), this shrinks as workers are added; the
+    #: scaling bench measures backend speedup on it.
+    runtime_wall_seconds: float = 0.0
     params: Dict[str, object] = field(default_factory=dict)
 
     @property

@@ -27,7 +27,7 @@ from repro.dense.solver import DenseSolver
 from repro.fembem.cases import CoupledProblem
 from repro.hmatrix.cluster import build_cluster_tree
 from repro.hmatrix.factorization import HLUFactorization
-from repro.hmatrix.hmatrix import build_hodlr
+from repro.hmatrix.hmatrix import PortableAxpyPlan, build_hodlr
 from repro.memory.tracker import MemoryTracker
 from repro.utils.timer import PhaseTimer
 
@@ -49,6 +49,7 @@ class RunContext:
         self.n_symbolic_analyses = 0
         self.n_symbolic_reuses = 0
         self.n_workers = config.effective_n_workers
+        self.runtime_backend = config.effective_runtime_backend
         #: Filled by the assembly phase when it ran on the parallel
         #: runtime (:mod:`repro.runtime`): per-worker phase breakdown.
         self.runtime_report = None
@@ -79,6 +80,9 @@ class RunContext:
             scheduler_wait_seconds=(
                 report.scheduler_wait_seconds if report is not None else 0.0
             ),
+            runtime_wall_seconds=(
+                report.run_wall_seconds if report is not None else 0.0
+            ),
             params={
                 "n_c": self.config.n_c,
                 "n_s_block": self.config.n_s_block,
@@ -86,6 +90,7 @@ class RunContext:
                 "epsilon": self.config.epsilon,
                 "sparse_compression": self.config.sparse_compression,
                 "n_workers": self.n_workers,
+                "runtime_backend": self.runtime_backend,
                 "reuse_analysis": self.config.effective_reuse_analysis,
                 "axpy_accumulate": self.config.effective_axpy_accumulate,
             },
@@ -254,8 +259,21 @@ class HodlrSchurContainer:
             tracker=self.tracker if charge_gather else None,
         )
 
+    def structure_skeleton(self):
+        """Values-free copy of ``S``'s structure for worker processes
+        (see :meth:`repro.hmatrix.hmatrix.HMatrix.structure_skeleton`)."""
+        return self.s.structure_skeleton()
+
     def commit(self, plan) -> None:
-        """Apply a pre-compressed plan (must run serialized, in order)."""
+        """Apply a pre-compressed plan (must run serialized, in order).
+
+        Accepts either an :class:`~repro.hmatrix.hmatrix.AxpyPlan` built
+        against this container's tree or the
+        :class:`~repro.hmatrix.hmatrix.PortableAxpyPlan` a worker process
+        pre-compressed against the structure skeleton.
+        """
+        if isinstance(plan, PortableAxpyPlan):
+            plan = self.s.import_plan(plan)
         self._apply_deltas(*self.s.commit_axpy(
             plan, accumulate=self._accumulate,
             max_accumulated_rank=self._max_acc_rank,

@@ -93,8 +93,17 @@ class Allocation:
         return self._live
 
     def free(self) -> None:
-        """Release this allocation.  Freeing twice is a silent no-op."""
-        if self._live:
+        """Release this allocation.  Freeing twice is a silent no-op.
+
+        The live-flag flip happens under the tracker's condition variable:
+        two threads racing ``free()`` on the same handle must not both
+        pass the check and double-release the charge (which would corrupt
+        ``_n_admitted`` / ``_reserved_headroom`` or trip the underflow
+        assertion).  Exactly one caller performs the release.
+        """
+        with self.tracker._cond:
+            if not self._live:
+                return
             self._live = False
             self.tracker._release(self)
 
@@ -230,6 +239,13 @@ class MemoryTracker:
         headroom = int(headroom)
         if headroom < 0:
             raise ValueError("headroom must be non-negative")
+        # deadline semantics: ``timeout`` bounds the *total* blocked time.
+        # Each wait iteration sleeps only for the remaining share — a
+        # notify that does not free enough budget must not restart the
+        # clock, or a caller could block unboundedly past its timeout.
+        deadline = (
+            None if timeout is None else time.perf_counter() + float(timeout)
+        )
         with self._cond:
             while (
                 self.limit_bytes is not None
@@ -243,14 +259,17 @@ class MemoryTracker:
                     raise MemoryLimitExceeded(
                         nbytes, self._in_use, self.limit_bytes, label
                     )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0.0:
+                        raise MemoryLimitExceeded(
+                            nbytes, self._in_use, self.limit_bytes,
+                            f"{label} (admission timed out after {timeout}s)",
+                        )
                 t0 = time.perf_counter()
-                signalled = self._cond.wait(timeout)
+                self._cond.wait(remaining)
                 self._wait_seconds += time.perf_counter() - t0
-                if not signalled and timeout is not None:
-                    raise MemoryLimitExceeded(
-                        nbytes, self._in_use, self.limit_bytes,
-                        f"{label} (admission timed out after {timeout}s)",
-                    )
             self._charge(nbytes, category, label)
             self._n_allocations += 1
             self._n_admitted += 1

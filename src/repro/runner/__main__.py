@@ -66,6 +66,13 @@ def main(argv=None) -> int:
              "(default: $REPRO_N_WORKERS or 1; results are bit-identical)",
     )
     parser.add_argument(
+        "--runtime-backend", choices=("thread", "process"), default=None,
+        help="execution backend of the parallel panel runtime "
+             "(default: $REPRO_RUNTIME_BACKEND or 'thread'; 'process' runs "
+             "panel kernels in worker processes with shared-memory results "
+             "— bit-identical solutions, true multi-core scaling)",
+    )
+    parser.add_argument(
         "--reuse-analysis", dest="reuse_analysis",
         action=argparse.BooleanOptionalAction, default=None,
         help="reuse the sparse symbolic analysis across the n_b^2 "
@@ -108,6 +115,10 @@ def main(argv=None) -> int:
         from repro.runtime.scheduler import N_WORKERS_ENV
 
         os.environ[N_WORKERS_ENV] = str(args.n_workers)
+    if args.runtime_backend is not None:
+        from repro.runtime import RUNTIME_BACKEND_ENV
+
+        os.environ[RUNTIME_BACKEND_ENV] = args.runtime_backend
     if args.reuse_analysis is not None:
         from repro.sparse.symbolic_cache import REUSE_ANALYSIS_ENV
 

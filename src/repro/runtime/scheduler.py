@@ -89,16 +89,41 @@ class PanelTask:
     label: str = ""
     #: Opaque context handed back to the consumer alongside the result.
     payload: Any = None
+    #: Picklable module-level alternative to ``fn`` for the process
+    #: backend: ``kernel(worker_ctx, timer, *kernel_args)`` runs in a
+    #: worker process against the context shipped by the pool initializer.
+    #: The thread backend ignores these fields.
+    kernel: Optional[Callable] = None
+    kernel_args: tuple = ()
+    #: Upper bound on the task's ndarray result bytes; when positive the
+    #: process backend routes the result through a shared-memory slab
+    #: instead of the result pickle.
+    result_nbytes: int = 0
+    #: Process backend: run on the coordinator via ``fn`` after every
+    #: pooled task has drained (used for a task whose side effects must
+    #: stay in the coordinator process, e.g. the last multi-factorization
+    #: block whose factors serve the right-hand-side solves).
+    inline: bool = False
 
 
 @dataclass
 class RuntimeReport:
-    """Aggregated execution statistics of one :class:`ParallelRuntime`."""
+    """Aggregated execution statistics of one parallel runtime.
+
+    Shared by the thread backend (:class:`ParallelRuntime`) and the
+    process backend (:class:`~repro.runtime.process_backend
+    .ProcessRuntime`).  ``run_wall_seconds`` is the coordinator wall-clock
+    time spent inside :meth:`ParallelRuntime.run` calls — the
+    parallelisable assembly window — which the scaling bench uses to
+    measure backend speedup without the serial phases diluting it.
+    """
 
     n_workers: int = 1
     n_tasks: int = 0
     worker_phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
     scheduler_wait_seconds: float = 0.0
+    run_wall_seconds: float = 0.0
+    backend: str = "thread"
 
 
 class ParallelRuntime:
@@ -135,6 +160,7 @@ class ParallelRuntime:
         self._admit_cond = threading.Condition()
         self._next_admit = 0  # guarded-by: _admit_cond
         self._n_tasks = 0
+        self._run_wall = 0.0  # coordinator-only (accumulated in run())
         self._closed = False
 
     # -- worker-side helpers -------------------------------------------------
@@ -193,7 +219,10 @@ class ParallelRuntime:
             with self._admit_cond:
                 self._next_admit = seq + 1
                 self._admit_cond.notify_all()
-        timer.add("scheduler_wait", time.perf_counter() - t0)
+            # record the blocked time even when acquire raises (task too
+            # large, admission timeout): the wait must not silently vanish
+            # from the worker's phase report
+            timer.add("scheduler_wait", time.perf_counter() - t0)
         return alloc
 
     def _run_task(self, seq: int, task: PanelTask):
@@ -223,6 +252,17 @@ class ParallelRuntime:
         """
         if self._closed:
             raise RuntimeError("runtime has been closed")
+        t0 = time.perf_counter()
+        try:
+            self._run(tasks, consume)
+        finally:
+            self._run_wall += time.perf_counter() - t0
+
+    def _run(
+        self,
+        tasks: Sequence[PanelTask],
+        consume: Optional[Callable[[PanelTask, Any], None]] = None,
+    ) -> None:
         tasks = list(tasks)
         self._n_tasks += len(tasks)
         if self.n_workers == 1:
@@ -303,6 +343,8 @@ class ParallelRuntime:
             n_tasks=self._n_tasks,
             worker_phases=self.worker_phases,
             scheduler_wait_seconds=self.scheduler_wait_seconds,
+            run_wall_seconds=self._run_wall,
+            backend="thread",
         )
 
     def finalize(self, main_timer: PhaseTimer) -> RuntimeReport:

@@ -110,9 +110,15 @@ class TestAlgorithmStructure:
         np.testing.assert_allclose(a.x, b.x, atol=1e-8)
 
     def test_baseline_peak_dominates_multi_solve(self, pipe_medium):
-        """The whole point of multi-solve: shed the huge solve panel."""
-        base = solve_coupled(pipe_medium, "baseline", UNCOMPRESSED)
-        ms = solve_coupled(pipe_medium, "multi_solve", UNCOMPRESSED)
+        """The whole point of multi-solve: shed the huge solve panel.
+
+        Compared at n_workers=1: the structural claim is about the
+        algorithms, and a parallel lane ($REPRO_N_WORKERS=4) legitimately
+        holds several panels live at once, inflating the multi-solve peak.
+        """
+        config = UNCOMPRESSED.with_(n_workers=1)
+        base = solve_coupled(pipe_medium, "baseline", config)
+        ms = solve_coupled(pipe_medium, "multi_solve", config)
         assert base.stats.peak_bytes > ms.stats.peak_bytes
 
 

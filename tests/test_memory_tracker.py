@@ -290,6 +290,79 @@ class TestAcquire:
         with pytest.raises(ValueError):
             MemoryTracker().acquire(10, headroom=-1)
 
+    def test_racing_frees_account_exactly_once(self):
+        """Hammer the free() double-free guard: N threads racing ``free()``
+        on the same allocations must uncharge each exactly once.
+
+        Regression for the non-atomic check-then-act on ``Allocation._live``
+        — a double uncharge either trips the underflow guard or corrupts
+        ``in_use``, both of which this asserts against.
+        """
+        import threading
+
+        t = MemoryTracker()
+        base = t.allocate(1_000, category="base")
+        errors = []
+        for _round in range(25):
+            allocs = [t.allocate(100, category="panel") for _ in range(8)]
+            barrier = threading.Barrier(4)
+
+            def racer():
+                try:
+                    barrier.wait()
+                    for a in allocs:  # noqa: B023 - rebound each round
+                        a.free()
+                except BaseException as exc:  # pragma: no cover - failure
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=racer) for _ in range(4)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+            assert not errors, errors
+            # exact accounting: every 100 B panel uncharged exactly once
+            assert t.in_use == 1_000
+            assert t.category_in_use("panel") == 0
+        base.free()
+        t.assert_all_freed()
+
+    def test_timeout_is_a_deadline_not_per_wait(self):
+        """``acquire(timeout=T)`` must give up after ~T seconds *total*.
+
+        Regression: the wait loop used to re-arm the full timeout on every
+        wakeup, so a tracker with frequent small frees (each notifying the
+        condition) could block an admission far beyond its timeout — here a
+        churn thread notifies every few milliseconds and would postpone the
+        timeout indefinitely under the old behaviour.
+        """
+        import threading
+        import time
+
+        t = MemoryTracker(limit_bytes=100)
+        first = t.acquire(90)
+        stop = threading.Event()
+
+        def churn():
+            # frees budget (and notifies waiters) but never enough
+            while not stop.is_set():
+                t.allocate(5).free()
+                time.sleep(0.005)
+
+        th = threading.Thread(target=churn)
+        th.start()
+        try:
+            t0 = time.perf_counter()
+            with pytest.raises(MemoryLimitExceeded, match="timed out"):
+                t.acquire(80, timeout=0.2)
+            elapsed = time.perf_counter() - t0
+        finally:
+            stop.set()
+            th.join()
+        assert elapsed < 2.0  # ~0.2 s intended; generous CI margin
+        first.free()
+        t.assert_all_freed()
+
     def test_concurrent_acquire_free_stays_consistent(self):
         import threading
 

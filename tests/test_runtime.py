@@ -173,6 +173,33 @@ class TestScheduler:
                 runtime.run(tasks, lambda t, r: None)
         tracker.assert_all_freed()
 
+    def test_failed_admission_still_reports_its_wait(self):
+        """Regression: ``_admit`` used to record ``scheduler_wait`` only on
+        the success path, so a task that blocked and then raised (too large
+        once the earlier holders drained) silently dropped its blocked time
+        from the worker phase report."""
+        tracker = MemoryTracker(limit_bytes=100)
+        # task 0 holds 60 B long enough for task 1 to block on admission;
+        # once it frees, task 1 (150 B) is alone and must raise — with the
+        # accumulated wait still visible in the report
+        tasks = [
+            self._noop_task(0, cost=60, sleep=0.05),
+            self._noop_task(1, cost=150),
+        ]
+        runtime = ParallelRuntime(tracker, n_workers=2)
+        try:
+            with pytest.raises(MemoryLimitExceeded):
+                runtime.run(tasks, lambda t, r: None)
+            report = runtime.report()
+            waited = sum(
+                phases.get("scheduler_wait", 0.0)
+                for phases in report.worker_phases.values()
+            )
+            assert waited >= 0.04
+        finally:
+            runtime.close()
+        tracker.assert_all_freed()
+
     def test_task_can_resize_its_allocation(self):
         tracker = MemoryTracker()
 

@@ -47,6 +47,12 @@ LOCK_HIERARCHY = (
     "_stats_lock",   # repro.sparse.solver.SparseSolver counters (leaf)
     "_axpy_lock",    # repro.hmatrix.hmatrix.HMatrix AXPY counters (leaf)
 )
+# The process execution backend (repro.runtime.process_backend) adds no
+# entry here on purpose: its coordinator is single-threaded and its
+# workers are single-threaded processes, so the only locks it ever takes
+# are the tracker's ``_cond`` and the timers' ``_lock`` — both already
+# ranked above.  Keep it that way; a new lock in that module must be
+# appended to the hierarchy, not waived.
 
 #: Methods exempt from the guarded-attribute rule: construction happens
 #: before the object is shared.
