@@ -77,13 +77,15 @@ def assemble_advanced(ctx: RunContext):
     sparse_factor_bytes = mf.factor_bytes
 
     x_block, x_alloc = mf.take_schur()
-    with ctx.timer.phase("schur_assembly"):
-        container = DenseSchurContainer(
-            problem, config, ctx.tracker, start_from_a_ss=True
-        )
-        container.s += x_block
-    del x_block
-    x_alloc.free()
+    try:
+        with ctx.timer.phase("schur_assembly"):
+            container = DenseSchurContainer(
+                problem, config, ctx.tracker, start_from_a_ss=True
+            )
+            container.s += x_block
+    finally:
+        del x_block
+        x_alloc.free()
 
     with ctx.timer.phase("dense_factorization"):
         container.factorize(ctx.tracker)

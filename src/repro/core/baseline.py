@@ -77,25 +77,33 @@ def assemble_baseline(ctx: RunContext):
         problem.n_fem * problem.n_bem * itemsize,
         category="solve_panel", label="dense A_vv^-1 A_sv^T",
     )
-    with ctx.timer.phase("sparse_solve"):
-        y = mf.solve(rhs, exploit_sparsity=config.exploit_sparse_rhs)
-    ctx.n_sparse_solves += 1
+    try:
+        with ctx.timer.phase("sparse_solve"):
+            y = mf.solve(rhs, exploit_sparsity=config.exploit_sparse_rhs)
+        ctx.n_sparse_solves += 1
 
-    with ctx.tracker.borrow(
-        problem.n_bem * problem.n_bem * itemsize,
-        category="spmm_panel", label="A_sv Y",
-    ):
-        with ctx.timer.phase("spmm"):
-            z = problem.a_sv @ y
-        del y
-        y_alloc.free()
+        with ctx.tracker.borrow(
+            problem.n_bem * problem.n_bem * itemsize,
+            category="spmm_panel", label="A_sv Y",
+        ):
+            with ctx.timer.phase("spmm"):
+                z = problem.a_sv @ y
+            del y
+            y_alloc.free()
+            y_alloc = None
 
-        with ctx.timer.phase("schur_assembly"):
-            container = DenseSchurContainer(
-                problem, config, ctx.tracker, start_from_a_ss=True
-            )
-            container.s -= z
-        del z
+            with ctx.timer.phase("schur_assembly"):
+                container = DenseSchurContainer(
+                    problem, config, ctx.tracker, start_from_a_ss=True
+                )
+                container.s -= z
+            del z
+    except BaseException:
+        # the panel charge must not outlive a failed solve/spmm (the
+        # borrow entry itself can raise on a tight budget)
+        if y_alloc is not None:
+            y_alloc.free()
+        raise
 
     with ctx.timer.phase("dense_factorization"):
         container.factorize(ctx.tracker)

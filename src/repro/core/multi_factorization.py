@@ -141,23 +141,25 @@ def _facto_block_kernel(w, timer, i: int, j: int):
     d_re = sparse.n_symbolic_reuses - w["sym_counts"][1]
     w["sym_counts"] = [sparse.n_symbolic_analyses, sparse.n_symbolic_reuses]
     x_block, x_alloc = mf_ij.take_schur()
-    skel = w.get("skeleton")
-    if skel is not None and w["accumulate"]:
-        before = skel.n_panel_compressions
-        with timer.phase("schur_precompress"):
-            # axpy-ok: skeleton stages nothing; plan commits+flushes on tree
-            plan = skel.precompress_axpy(
-                1.0, x_block[:k_i, :k_j], rows_i, cols_j,
-                compressor=w["compressor"],
+    try:
+        skel = w.get("skeleton")
+        if skel is not None and w["accumulate"]:
+            before = skel.n_panel_compressions
+            with timer.phase("schur_precompress"):
+                # axpy-ok: skeleton stages nothing; plan commits+flushes on tree
+                plan = skel.precompress_axpy(
+                    1.0, x_block[:k_i, :k_j], rows_i, cols_j,
+                    compressor=w["compressor"],
+                )
+            body = HMatrix.export_plan(
+                plan, skel.n_panel_compressions - before
             )
-        body = HMatrix.export_plan(
-            plan, skel.n_panel_compressions - before
-        )
-    else:
-        body = np.ascontiguousarray(x_block[:k_i, :k_j])
-    del x_block
-    x_alloc.free()
-    mf_ij.free()
+        else:
+            body = np.ascontiguousarray(x_block[:k_i, :k_j])
+    finally:
+        del x_block
+        x_alloc.free()
+        mf_ij.free()
     return factor_bytes, d_an, d_re, body
 
 
@@ -270,13 +272,15 @@ def assemble_multi_factorization(ctx: RunContext):
                 # the dense block dies here, only the compressed plan
                 # travels to the serialized commit
                 x_block, x_alloc = mf_ij.take_schur()
-                with timer.phase("schur_precompress"):
-                    plan = container.precompress_add(
-                        x_block[:k_i, :k_j], rows_i, cols_j,
-                        charge_gather=False,
-                    )
-                del x_block
-                x_alloc.free()
+                try:
+                    with timer.phase("schur_precompress"):
+                        plan = container.precompress_add(
+                            x_block[:k_i, :k_j], rows_i, cols_j,
+                            charge_gather=False,
+                        )
+                finally:
+                    del x_block
+                    x_alloc.free()
                 alloc.resize(plan.nbytes)
             return mf_ij, plan
 
@@ -331,10 +335,12 @@ def assemble_multi_factorization(ctx: RunContext):
                 container.commit(plan)
         else:
             x_block, x_alloc = mf_ij.take_schur()
-            with ctx.timer.phase(phase):
-                container.add_block(x_block[:k_i, :k_j], rows_i, cols_j)
-            del x_block
-            x_alloc.free()
+            try:
+                with ctx.timer.phase(phase):
+                    container.add_block(x_block[:k_i, :k_j], rows_i, cols_j)
+            finally:
+                del x_block
+                x_alloc.free()
         if is_last:
             # the last block's factorization still holds A_vv's factors,
             # which the coupled right-hand-side solves reuse

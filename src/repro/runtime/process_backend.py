@@ -53,6 +53,7 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context, shared_memory
@@ -242,8 +243,17 @@ class _SlabPool:
         for slab in self.slabs.values():
             try:
                 slab.close()
-            except BufferError:  # a stray view outlived consume
-                pass
+            except BufferError:
+                # a stray exported view outlived consume; the mapping
+                # cannot be reclaimed until that view dies, so say so
+                # instead of hiding the leak
+                warnings.warn(
+                    f"shared-memory slab {slab.name!r} still has live "
+                    "views at pool close; its mapping leaks until they "
+                    "are garbage-collected",
+                    ResourceWarning,
+                    stacklevel=2,
+                )
             try:
                 slab.unlink()
             except FileNotFoundError:
@@ -384,9 +394,17 @@ class ProcessRuntime:
         try:
             for task in pooled:
                 alloc, slab_name = self._admit(task, pending, consume)
-                future = pool.submit(
-                    _worker_run, task.kernel, task.kernel_args, slab_name
-                )
+                try:
+                    future = pool.submit(
+                        _worker_run, task.kernel, task.kernel_args, slab_name
+                    )
+                except BaseException:
+                    # a submit that never produced a future is not in
+                    # `pending`, so the drain below cannot settle it
+                    if slab_name is not None:
+                        self._slabs.release(slab_name)
+                    alloc.free()
+                    raise
                 pending.append((task, future, alloc, slab_name))
             while pending:
                 self._consume_one(pending.popleft(), consume)
@@ -411,36 +429,50 @@ class ProcessRuntime:
         result slab) before submission, draining the oldest outstanding
         result whenever either is exhausted — the ordered-admission
         discipline of the thread backend, run by the coordinator."""
-        t0 = time.perf_counter()
+        alloc = None
+        slab_name = None
         try:
-            while True:
-                try:
-                    alloc = self.tracker.acquire(
-                        task.cost_bytes, category=task.category,
-                        label=task.label, headroom=task.headroom_bytes,
-                        block=False,
-                    )
-                    break
-                except MemoryLimitExceeded:
-                    if not pending:
-                        # nothing left to drain: raise exactly as the
-                        # serial path would for an oversize task
-                        raise
-                    self._consume_one(pending.popleft(), consume)
-            slab_name = None
-            if task.result_nbytes > 0:
+            t0 = time.perf_counter()
+            try:
                 while True:
-                    slab_name = self._slabs.acquire()
-                    if slab_name is not None:
+                    try:
+                        alloc = self.tracker.acquire(
+                            task.cost_bytes, category=task.category,
+                            label=task.label, headroom=task.headroom_bytes,
+                            block=False,
+                        )
                         break
-                    # every slab is held by an outstanding result; the
-                    # pool holds >= 2 slots, so pending cannot be empty
-                    self._consume_one(pending.popleft(), consume)
-            return alloc, slab_name
-        finally:
-            self._coord_timer.add(
-                "scheduler_wait", time.perf_counter() - t0
-            )
+                    except MemoryLimitExceeded:
+                        if not pending:
+                            # nothing left to drain: raise exactly as the
+                            # serial path would for an oversize task
+                            raise
+                        self._consume_one(pending.popleft(), consume)
+                if task.result_nbytes > 0:
+                    while True:
+                        slab_name = self._slabs.acquire()
+                        if slab_name is not None:
+                            break
+                        # every slab is held by an outstanding result; the
+                        # pool holds >= 2 slots, so pending cannot be empty
+                        self._consume_one(pending.popleft(), consume)
+                return alloc, slab_name
+            finally:
+                self._coord_timer.add(
+                    "scheduler_wait", time.perf_counter() - t0
+                )
+        except BaseException:
+            # the budget charge (and slab claim) must not outlive a failed
+            # admission: a drain raising mid-loop — or even the timer
+            # bookkeeping in the finally above — would otherwise leak the
+            # charge for the rest of the factorization
+            try:
+                if slab_name is not None:
+                    self._slabs.release(slab_name)
+            finally:
+                if alloc is not None:
+                    alloc.free()
+            raise
 
     def _consume_one(self, entry, consume) -> None:
         task, future, alloc, slab_name = entry

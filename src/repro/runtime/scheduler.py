@@ -210,20 +210,28 @@ class ParallelRuntime:
         with self._admit_cond:
             while self._next_admit != seq:
                 self._admit_cond.wait()
+        alloc = None
         try:
-            alloc = self.tracker.acquire(
-                task.cost_bytes, category=task.category, label=task.label,
-                headroom=task.headroom_bytes,
-            )
-        finally:
-            with self._admit_cond:
-                self._next_admit = seq + 1
-                self._admit_cond.notify_all()
-            # record the blocked time even when acquire raises (task too
-            # large, admission timeout): the wait must not silently vanish
-            # from the worker's phase report
-            timer.add("scheduler_wait", time.perf_counter() - t0)
-        return alloc
+            try:
+                alloc = self.tracker.acquire(
+                    task.cost_bytes, category=task.category, label=task.label,
+                    headroom=task.headroom_bytes,
+                )
+            finally:
+                with self._admit_cond:
+                    self._next_admit = seq + 1
+                    self._admit_cond.notify_all()
+                # record the blocked time even when acquire raises (task too
+                # large, admission timeout): the wait must not silently
+                # vanish from the worker's phase report
+                timer.add("scheduler_wait", time.perf_counter() - t0)
+            return alloc
+        except BaseException:
+            # the turnstile hand-off in the finally above can itself raise
+            # after acquire succeeded; the charge must not leak with it
+            if alloc is not None:
+                alloc.free()
+            raise
 
     def _run_task(self, seq: int, task: PanelTask):
         timer = self._worker_timer()

@@ -1,0 +1,40 @@
+"""Fixture: hidden nondeterminism (DET001/DET002/DET003).
+
+Anything feeding the ordered commit pipeline must be order-stable and
+seeded — set iteration, global-state randomness and wall-clock reads
+all vary between runs.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def fold_over_set(blocks):
+    total = 0.0
+    for b in {round(x) for x in blocks}:  # DET001
+        total += b
+    return total
+
+
+def comprehension_over_set(names):
+    return [n for n in set(names)]  # DET001
+
+
+def global_randomness(n):
+    jitter = random.random()  # DET002
+    noise = np.random.rand(n)  # DET002
+    rng = np.random.default_rng()  # DET002 (unseeded)
+    return jitter, noise, rng
+
+
+def wallclock_tag():
+    return time.time()  # DET003
+
+
+def clean_paths(names, seed):
+    ordered = sorted(set(names))  # sorted() normalises the order
+    rng = np.random.default_rng(seed)  # explicit seed
+    t0 = time.perf_counter()  # monotonic timing only feeds reports
+    return ordered, rng, t0

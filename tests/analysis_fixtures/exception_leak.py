@@ -1,0 +1,54 @@
+"""Fixture: exception-path leaks the lexical checker could not see (RES008).
+
+Every function here frees its handle on the straight-line path — the old
+lexical pairing rule is satisfied — yet each leaks when an exception
+escapes.  Only the flow-sensitive engine reports these; this fixture is
+the regression test that keeps that capability honest.
+"""
+
+
+def leak_when_kernel_raises(tracker, kernel, nbytes):
+    alloc = tracker.acquire(nbytes)  # RES008 (kernel() may raise)
+    result = kernel()
+    alloc.free()
+    return result
+
+
+def leak_through_finally(tracker, task, timer):
+    # the scheduler-admission shape: the handle escapes via return, but a
+    # raising finally discards the return value and the charge with it
+    try:
+        alloc = tracker.acquire(task.nbytes)  # RES008 (timer.add may raise)
+        return alloc
+    finally:
+        timer.add("scheduler_wait", 1.0)
+
+
+def clean_except_cleanup(tracker, kernel, nbytes):
+    alloc = tracker.acquire(nbytes)
+    try:
+        result = kernel()
+    except BaseException:
+        alloc.free()
+        raise
+    alloc.free()
+    return result
+
+
+def clean_finally_cleanup(tracker, kernel, nbytes):
+    alloc = tracker.acquire(nbytes)
+    try:
+        return kernel()
+    finally:
+        alloc.free()
+
+
+def clean_guarded_cleanup(tracker, kernel, nbytes):
+    # `alloc is not None` must not look like a skippable cleanup: the
+    # engine prunes the infeasible None arm for a tracked handle
+    alloc = tracker.acquire(nbytes)
+    try:
+        return kernel()
+    finally:
+        if alloc is not None:
+            alloc.free()

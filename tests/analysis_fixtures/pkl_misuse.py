@@ -1,0 +1,58 @@
+"""Fixture: pickle-boundary violations (PKL001/PKL002/PKL003).
+
+The process backend ships ``kernel``/``kernel_args`` through a
+``ProcessPoolExecutor``; ``worker_builder`` travels once per worker via
+the pool initializer.  Nothing closure-shaped or coordinator-owned may
+ride along.
+"""
+
+import threading
+
+_result_lock = threading.Lock()
+
+
+def good_kernel(payload, i, j):
+    return payload[i][j]
+
+
+def lock_touching_kernel(payload):
+    with _result_lock:  # PKL002 (module-global lock read from a kernel)
+        return payload
+
+
+class Coordinator:
+    def __init__(self, pool):
+        self.pool = pool
+        self._lock = threading.Lock()
+
+    def submit_lambda(self, runtime, data):
+        runtime.run(kernel=lambda p: p, kernel_args=(data,))  # PKL001
+
+    def submit_bound_method(self, runtime, data):
+        runtime.run(kernel=self.consume, kernel_args=(data,))  # PKL001
+
+    def submit_call_result(self, runtime, data):
+        runtime.run(kernel=make_kernel(data))  # PKL001
+
+    def submit_nested(self, runtime, data):
+        def local_kernel(p):
+            return p
+
+        runtime.run(kernel=local_kernel, kernel_args=(data,))  # PKL001
+
+    def submit_global_reader(self, runtime, data):
+        runtime.run(kernel=lock_touching_kernel, kernel_args=(data,))
+
+    def ship_lock(self, runtime, data):
+        lock = self._lock
+        runtime.run(kernel=good_kernel, kernel_args=(lock, data))  # PKL003
+
+    def clean_submit(self, runtime, data):
+        runtime.run(kernel=good_kernel, kernel_args=(data, 0, 1))
+
+    def consume(self, p):
+        return p
+
+
+def make_kernel(data):
+    return lambda: data

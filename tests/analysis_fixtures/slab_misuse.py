@@ -1,0 +1,43 @@
+"""Fixture: shared-memory slab lifecycle violations (SLB001/SLB002/SLB003)."""
+
+from multiprocessing import shared_memory
+
+
+class Backend:
+    def leak_when_consume_raises(self, task, consume):
+        name = self._slabs.acquire()  # SLB002 (consume may raise)
+        consume(task)
+        self._slabs.release(name)
+
+    def not_returned_on_branch(self, flag):
+        name = self._slabs.acquire()  # SLB001
+        if flag:
+            self._slabs.release(name)
+
+    def double_release(self):
+        name = self._slabs.acquire()
+        self._slabs.release(name)
+        self._slabs.release(name)  # SLB003
+
+    def discarded_checkout(self):
+        self._slabs.acquire()  # SLB001 (result discarded)
+
+    def clean_handoff(self, pending):
+        name = self._slabs.acquire()
+        pending.append(name)  # obligation transfers to the deque
+
+    def clean_exception_path(self, task, consume):
+        name = self._slabs.acquire()
+        try:
+            consume(task)
+        finally:
+            self._slabs.release(name)
+
+
+def clean_raw_segment(nbytes):
+    seg = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(seg.buf[:1])
+    finally:
+        seg.close()
+        seg.unlink()

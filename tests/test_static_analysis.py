@@ -1,7 +1,9 @@
 """Tests for the repo-specific invariant checker suite (tools/analysis).
 
-Two directions:
+Three directions:
 
+* the CFG/dataflow engine itself (graph shape, exception edges,
+  ``finally`` duplication, fixpoint convergence);
 * every fixture in ``tests/analysis_fixtures`` must produce its
   documented findings (the checkers actually detect what they claim);
 * the real codebase must be clean (the gate `python -m tools.analysis
@@ -11,12 +13,15 @@ Two directions:
 
 from __future__ import annotations
 
+import ast
+import json
 import threading
 from pathlib import Path
 
 import pytest
 
 from tools.analysis import ALL_CHECKERS
+from tools.analysis.engine import build_cfg, iter_scopes
 from tools.analysis.runner import main as runner_main
 from tools.analysis.runner import run_checkers
 from tools.analysis.watchdog import LockOrderWatchdog, TrackerBalanceRecorder
@@ -31,6 +36,100 @@ def codes(findings):
 
 def codes_by_line(findings):
     return {(f.code, f.line) for f in findings}
+
+
+def function_cfg(src: str):
+    scopes = list(iter_scopes(ast.parse(src)))
+    assert len(scopes) == 2  # module + the one function
+    return scopes[1].cfg()
+
+
+# -- the engine ----------------------------------------------------------------
+class TestCfgConstruction:
+    def test_branch_shape(self):
+        cfg = function_cfg(
+            "def f(flag):\n"
+            "    if flag:\n"
+            "        x = 1\n"
+            "    else:\n"
+            "        x = 2\n"
+            "    return x\n"
+        )
+        kinds = [n.kind for n in cfg.nodes]
+        assert kinds.count("branch") == 1
+        assert kinds.count("join") == 1
+        assumes = [n for n in cfg.nodes if n.kind == "assume"]
+        assert sorted(n.meta for n in assumes) == ["else", "then"]
+
+    def test_exception_edges_only_from_raising_statements(self):
+        cfg = function_cfg(
+            "def f(kernel):\n"
+            "    x = 1\n"
+            "    y = kernel()\n"
+            "    return y\n"
+        )
+        by_line = {n.line: n for n in cfg.nodes if n.kind == "stmt"}
+        assert by_line[2].esuccs == []  # plain assignment cannot raise
+        assert by_line[3].esuccs != []  # the call can
+
+    def test_finally_is_duplicated_per_continuation(self):
+        cfg = function_cfg(
+            "def f(tracker, kernel):\n"
+            "    alloc = tracker.acquire(1)\n"
+            "    try:\n"
+            "        return kernel()\n"
+            "    finally:\n"
+            "        alloc.free()\n"
+        )
+        # the free() runs on the return unwind AND the exception unwind:
+        # the suite is inlined once per continuation
+        frees = [n for n in cfg.nodes if n.kind == "stmt" and n.line == 6]
+        assert len(frees) >= 2
+
+    def test_with_produces_enter_and_exit_nodes(self):
+        cfg = function_cfg(
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        self.x = 1\n"
+        )
+        kinds = [n.kind for n in cfg.nodes]
+        assert "with_enter" in kinds and "with_exit" in kinds
+
+
+class TestFixpoint:
+    def test_loops_converge(self):
+        # reallocation inside a loop reaches a fixpoint and stays clean
+        src = (
+            "def f(tracker, items):\n"
+            "    total = 0\n"
+            "    for it in items:\n"
+            "        a = tracker.acquire(it)\n"
+            "        total += it\n"
+            "        a.free()\n"
+            "    return total\n"
+        )
+        tmp = FIXTURES / "_tmp_loop.py"
+        try:
+            tmp.write_text(src)
+            assert run_checkers([str(tmp)],
+                                only=["resource-discipline"]) == []
+        finally:
+            tmp.unlink()
+
+    def test_loop_carried_leak_is_found(self):
+        src = (
+            "def f(tracker, items):\n"
+            "    for it in items:\n"
+            "        a = tracker.acquire(it)\n"  # freed on no path
+            "    return None\n"
+        )
+        tmp = FIXTURES / "_tmp_leak.py"
+        try:
+            tmp.write_text(src)
+            found = run_checkers([str(tmp)], only=["resource-discipline"])
+        finally:
+            tmp.unlink()
+        assert "RES002" in codes(found)
 
 
 # -- fixture detection ---------------------------------------------------------
@@ -52,11 +151,32 @@ class TestResourceChecker:
         assert len(res3) == 1
 
 
+class TestExceptionPathLeaks:
+    """The regression fixture for leaks only the dataflow engine can see."""
+
+    def test_straight_line_free_still_leaks_on_exception(self):
+        found = run_checkers([str(FIXTURES / "exception_leak.py")],
+                             only=["resource-discipline"])
+        assert codes(found) == {"RES008"}
+        text = (FIXTURES / "exception_leak.py").read_text().splitlines()
+        expected = {i + 1 for i, l in enumerate(text) if "# RES008" in l}
+        assert {f.line for f in found} == expected
+
+    def test_cleanup_idioms_are_clean(self):
+        found = run_checkers([str(FIXTURES / "exception_leak.py")],
+                             only=["resource-discipline"])
+        for clean in ("clean_except_cleanup", "clean_finally_cleanup",
+                      "clean_guarded_cleanup"):
+            assert all(clean not in f.message for f in found)
+
+
 class TestArenaLifecycle:
     def test_fixture_findings(self):
         found = run_checkers([str(FIXTURES / "arena_misuse.py")],
                              only=["resource-discipline"])
-        assert {"RES002", "RES003", "RES007"} == codes(found)
+        # RES008: ensure()/reset() can raise while the arena is live —
+        # visible only to the flow-sensitive engine
+        assert {"RES002", "RES003", "RES007", "RES008"} == codes(found)
 
     def test_use_after_free_sites(self):
         found = run_checkers([str(FIXTURES / "arena_misuse.py")],
@@ -166,6 +286,142 @@ class TestDtypeChecker:
         assert run_checkers([str(other)], only=["dtype-safety"]) == []
 
 
+class TestPickleChecker:
+    def test_fixture_findings(self):
+        found = run_checkers([str(FIXTURES / "pkl_misuse.py")],
+                             only=["pickle-safety"])
+        assert {"PKL001", "PKL002", "PKL003"} == codes(found)
+        assert sum(1 for f in found if f.code == "PKL001") == 4
+
+    def test_module_level_references_are_exempt(self):
+        # good_kernel reads make_kernel/np-style importables freely; the
+        # clean submit of a module-level function produces nothing
+        found = run_checkers([str(FIXTURES / "pkl_misuse.py")],
+                             only=["pickle-safety"])
+        assert all("good_kernel" not in f.message for f in found)
+
+
+class TestBlockingChecker:
+    def test_fixture_findings(self):
+        found = run_checkers(
+            [str(FIXTURES / "blocking_under_lock_misuse.py")],
+            only=["blocking-under-lock"])
+        assert {"BLK001", "BLK002"} == codes(found)
+        assert sum(1 for f in found if f.code == "BLK001") == 3
+
+    def test_flow_sensitivity(self):
+        found = run_checkers(
+            [str(FIXTURES / "blocking_under_lock_misuse.py")],
+            only=["blocking-under-lock"])
+        # waiting on the sole held condition, submitting after release
+        # and non-blocking probes are all clean
+        for clean in ("sole_cond_wait", "submit_after_release",
+                      "nonblocking_probe", "slab_pop_under_lock"):
+            assert all(clean not in f.message for f in found)
+
+
+class TestSlabChecker:
+    def test_fixture_findings(self):
+        found = run_checkers([str(FIXTURES / "slab_misuse.py")],
+                             only=["slab-lifecycle"])
+        assert {"SLB001", "SLB002", "SLB003"} == codes(found)
+        assert sum(1 for f in found if f.code == "SLB001") == 2
+
+    def test_clean_lifecycles_contribute_nothing(self):
+        found = run_checkers([str(FIXTURES / "slab_misuse.py")],
+                             only=["slab-lifecycle"])
+        for clean in ("clean_handoff", "clean_exception_path",
+                      "clean_raw_segment"):
+            assert all(clean not in f.message for f in found)
+
+
+class TestDeterminismChecker:
+    def test_fixture_findings(self):
+        found = run_checkers([str(FIXTURES / "determinism_misuse.py")],
+                             only=["determinism"])
+        assert {"DET001", "DET002", "DET003"} == codes(found)
+        assert sum(1 for f in found if f.code == "DET002") == 3
+
+    def test_clean_paths_contribute_nothing(self):
+        found = run_checkers([str(FIXTURES / "determinism_misuse.py")],
+                             only=["determinism"])
+        text = (FIXTURES / "determinism_misuse.py").read_text().splitlines()
+        clean_start = next(i + 1 for i, l in enumerate(text)
+                           if "def clean_paths" in l)
+        assert all(f.line < clean_start for f in found)
+
+
+# -- runner robustness ---------------------------------------------------------
+class TestRunnerRobustness:
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        found = run_checkers([str(bad)])
+        assert len(found) == 1
+        assert found[0].code == "E000"
+        assert "broken.py" in found[0].path
+
+    def test_undecodable_file_is_a_finding(self, tmp_path):
+        bad = tmp_path / "binary.py"
+        bad.write_bytes(b"\xff\xfe\x00garbage")
+        found = run_checkers([str(bad)])
+        assert [f.code for f in found] == ["E000"]
+
+    def test_jobs_match_serial(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        args = [str(FIXTURES), "--quiet", "--no-cache"]
+        assert runner_main(args) == 1
+        serial = capsys.readouterr().out
+        assert runner_main(args + ["--jobs", "2"]) == 1
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_cache_round_trip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        args = [str(FIXTURES / "resource_leaks.py"), "--quiet"]
+        assert runner_main(args) == 1
+        first = capsys.readouterr().out
+        assert (tmp_path / ".analysis_cache.json").exists()
+        assert runner_main(args) == 1  # second run served from cache
+        assert capsys.readouterr().out == first
+
+    def test_sarif_output(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "out.sarif"
+        runner_main([str(FIXTURES / "resource_leaks.py"), "--quiet",
+                     "--no-cache", "--sarif", str(out)])
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analysis"
+        assert run["results"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {r["ruleId"] for r in run["results"]} <= rule_ids
+
+    def test_baseline_suppresses_and_requires_justification(
+            self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        fixture = str(FIXTURES / "exception_leak.py")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps([
+            {"code": "RES008", "path": "exception_leak.py",
+             "justification": "fixture: documented engine regression"},
+        ]))
+        sarif = tmp_path / "out.sarif"
+        assert runner_main([fixture, "--quiet", "--no-cache",
+                            "--baseline", str(baseline),
+                            "--sarif", str(sarif)]) == 0
+        log = json.loads(sarif.read_text())
+        results = log["runs"][0]["results"]
+        assert results and all(r.get("suppressions") for r in results)
+        # an entry without a justification is a configuration error
+        baseline.write_text(json.dumps([
+            {"code": "RES008", "path": "exception_leak.py"},
+        ]))
+        assert runner_main([fixture, "--quiet", "--no-cache",
+                            "--baseline", str(baseline)]) == 1
+
+
 # -- real codebase is clean ----------------------------------------------------
 class TestRepositoryClean:
     def test_src_and_benchmarks_pass(self):
@@ -174,9 +430,10 @@ class TestRepositoryClean:
         assert found == [], "\n".join(f.render() for f in found)
 
     def test_cli_exit_codes(self, capsys):
-        assert runner_main([str(REPO_ROOT / "src"), "--quiet"]) == 0
+        assert runner_main([str(REPO_ROOT / "src"), "--quiet",
+                            "--no-cache"]) == 0
         assert runner_main([str(FIXTURES / "resource_leaks.py"),
-                            "--quiet"]) == 1
+                            "--quiet", "--no-cache"]) == 1
         out = capsys.readouterr().out
         assert "RES00" in out
 
@@ -187,8 +444,10 @@ class TestRepositoryClean:
 
     def test_all_checkers_registered(self):
         names = sorted(cls.name for cls in ALL_CHECKERS)
-        assert names == ["axpy-discipline", "dense-schur", "dtype-safety",
-                         "lock-discipline", "resource-discipline"]
+        assert names == ["axpy-discipline", "blocking-under-lock",
+                         "dense-schur", "determinism", "dtype-safety",
+                         "lock-discipline", "pickle-safety",
+                         "resource-discipline", "slab-lifecycle"]
 
 
 # -- runtime watchdog ----------------------------------------------------------

@@ -1,16 +1,20 @@
 """Repo-specific static invariant checkers (``python -m tools.analysis``).
 
 The paper's capacity results rest on invariants the type system cannot
-express; each checker turns one of them into a CI-enforced contract:
+express; each checker turns one of them into a CI-enforced contract.
+Flow-sensitive checkers run on the CFG/dataflow engine in
+:mod:`tools.analysis.engine`, so exception paths, early returns and
+``finally`` blocks are real paths, not blind spots.
 
 ``resource-discipline``
     Every ``MemoryTracker.allocate``/``acquire``/``track_array`` call must
-    be paired with a ``free()`` on every explicit control-flow path (or use
-    the ``borrow`` context-manager form), so tracked peaks stay truthful.
+    be paired with a ``free()`` on every path — including the path where
+    an exception escapes the scope (RES008) — so tracked peaks stay
+    truthful and capacity headroom is never silently consumed.
 
 ``lock-discipline``
     Attributes annotated ``# guarded-by: <lock>`` may only be touched
-    inside a ``with self.<lock>:`` block, and lexically nested lock
+    while the declared lock is held on the current path, and nested lock
     acquisitions must follow the declared hierarchy.
 
 ``dense-schur``
@@ -30,18 +34,41 @@ express; each checker turns one of them into a CI-enforced contract:
     flush or escape, a receiver with staged updates must see a flush in
     the module, and ``factorize()`` must be preceded by one.
 
-See ``docs/static_analysis.md`` for the conventions and how to extend the
-suite.  The runtime companion (:mod:`tools.analysis.watchdog`) records the
-actual lock-acquisition graph during the concurrency tests and fails on
-cycles.
+``pickle-safety``
+    Kernels and worker builders handed to the process backend cross a
+    pickle boundary: no lambdas, closures, bound methods or
+    lock/pool-like module globals may ride along.
+
+``blocking-under-lock``
+    Never block waiting for another thread (``wait``/``result``/
+    ``join``/blocking ``acquire``) while holding a lock — the classic
+    scheduler/tracker deadlock shape.
+
+``slab-lifecycle``
+    Shared-memory slabs checked out of the coordinator pool must be
+    released on every path (exception paths included), exactly once.
+
+``determinism``
+    Nothing order-unstable (set iteration, global-state randomness,
+    wall-clock values) may feed the ordered commit pipeline that backs
+    the thread/process byte-identity guarantee.
+
+See ``docs/static_analysis.md`` for the conventions, waiver/baseline
+workflow and how to extend the suite.  The runtime companion
+(:mod:`tools.analysis.watchdog`) records the actual lock-acquisition
+graph during the concurrency tests and fails on cycles.
 """
 
 from tools.analysis.base import Checker, Finding, ModuleSource, iter_sources
 from tools.analysis.axpy import AxpyDisciplineChecker
+from tools.analysis.blocking import BlockingUnderLockChecker
+from tools.analysis.determinism import DeterminismChecker
 from tools.analysis.dtype_safety import DtypeSafetyChecker
 from tools.analysis.locks import LockDisciplineChecker
+from tools.analysis.pickle_safety import PickleSafetyChecker
 from tools.analysis.resource import ResourceDisciplineChecker
 from tools.analysis.schur import DenseSchurChecker
+from tools.analysis.slab import SlabLifecycleChecker
 
 #: All checkers, in reporting order.
 ALL_CHECKERS = (
@@ -50,17 +77,25 @@ ALL_CHECKERS = (
     DenseSchurChecker,
     DtypeSafetyChecker,
     AxpyDisciplineChecker,
+    PickleSafetyChecker,
+    BlockingUnderLockChecker,
+    SlabLifecycleChecker,
+    DeterminismChecker,
 )
 
 __all__ = [
     "ALL_CHECKERS",
     "AxpyDisciplineChecker",
+    "BlockingUnderLockChecker",
     "Checker",
     "DenseSchurChecker",
+    "DeterminismChecker",
     "DtypeSafetyChecker",
     "Finding",
     "LockDisciplineChecker",
     "ModuleSource",
+    "PickleSafetyChecker",
     "ResourceDisciplineChecker",
+    "SlabLifecycleChecker",
     "iter_sources",
 ]

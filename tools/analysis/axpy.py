@@ -7,8 +7,12 @@ The deferred compressed AXPY (:class:`repro.hmatrix.rk.RkAccumulator`,
 lexical contracts keep that state from being dropped silently:
 
 * a constructed ``RkAccumulator`` bound to a local must be flushed or
-  escape (returned, stored, passed on) within the function — an
-  accumulator that dies with pending state drops its updates (AXPY001);
+  escape (returned, stored, passed on) on every *normal* control-flow
+  path of the function — an accumulator that dies with pending state
+  drops its updates (AXPY001).  This check runs on the dataflow engine,
+  so a branch that flushes and a branch that falls off the end are
+  distinguished; exception paths are exempt (an abandoned computation's
+  pending updates are dead weight, not lost results);
 * a receiver that stages deferred updates (any commit/pre-compress method
   from :data:`tools.analysis.config.AXPY_COMMIT_METHODS`) must have a
   flush call on the *same receiver* somewhere in the module (AXPY002);
@@ -40,6 +44,8 @@ from tools.analysis.config import (
     AXPY_FACTORIZE_METHODS,
     AXPY_FLUSH_METHODS,
 )
+from tools.analysis.engine import (Analysis, Node, iter_scopes,
+                                   none_test_name, run_analysis)
 
 
 def _receiver_key(func: ast.AST) -> Optional[str]:
@@ -136,73 +142,103 @@ class AxpyDisciplineChecker(Checker):
     # -- AXPY001: locally constructed accumulators ---------------------------
     def _check_local_accumulators(self, mod: ModuleSource) -> List[Finding]:
         findings: List[Finding] = []
-        for scope in ast.walk(mod.tree):
-            if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for scope in iter_scopes(mod.tree):
+            if scope.is_module:
                 continue
-            constructed: Dict[str, int] = {}
-            for stmt in scope.body:
-                self._collect_constructions(stmt, constructed)
-            if not constructed:
-                continue
-            cleared = self._cleared_names(scope, constructed)
-            for name, line in sorted(constructed.items()):
-                if name in cleared:
-                    continue
-                f = self.finding(
-                    mod, "AXPY001", line,
-                    f"accumulator '{name}' constructed here is neither "
-                    f"flushed nor handed off in function {scope.name} — "
-                    f"its pending updates die with it",
-                )
+            analysis = _AccumulatorAnalysis(scope.label)
+            for code, line, message in run_analysis(scope.cfg(), analysis):
+                f = self.finding(mod, code, line, message)
                 if f is not None:
                     findings.append(f)
         return findings
 
-    def _collect_constructions(self, stmt: ast.stmt,
-                               out: Dict[str, int]) -> None:
-        for node in ast.walk(stmt):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if (isinstance(node, ast.Assign)
-                    and isinstance(node.value, ast.Call)
-                    and isinstance(node.value.func, ast.Name)
-                    and node.value.func.id in AXPY_ACCUMULATOR_CONSTRUCTORS
-                    and len(node.targets) == 1
-                    and isinstance(node.targets[0], ast.Name)):
-                out[node.targets[0].id] = node.lineno
 
-    def _cleared_names(self, scope: ast.AST,
-                       constructed: Dict[str, int]) -> Set[str]:
-        """Names that reach a flush or escape the function."""
-        cleared: Set[str] = set()
-        for node in ast.walk(scope):
-            if isinstance(node, ast.Call):
-                # acc.flush(...) clears the obligation
-                if (isinstance(node.func, ast.Attribute)
-                        and node.func.attr in AXPY_FLUSH_METHODS
-                        and isinstance(node.func.value, ast.Name)
-                        and node.func.value.id in constructed):
-                    cleared.add(node.func.value.id)
-                # passing the accumulator to another call hands it off
-                for arg in list(node.args) + [k.value for k in node.keywords]:
-                    for sub in ast.walk(arg):
-                        if (isinstance(sub, ast.Name)
-                                and sub.id in constructed):
-                            cleared.add(sub.id)
-            elif isinstance(node, ast.Return) and node.value is not None:
-                for sub in ast.walk(node.value):
-                    if isinstance(sub, ast.Name) and sub.id in constructed:
-                        cleared.add(sub.id)
-            elif isinstance(node, ast.Assign):
-                # storing it (attribute, container, other name) hands the
-                # lifetime to the target's owner — unless the RHS is the
-                # constructing call itself
-                if (isinstance(node.value, ast.Call)
-                        and isinstance(node.value.func, ast.Name)
-                        and node.value.func.id
-                        in AXPY_ACCUMULATOR_CONSTRUCTORS):
-                    continue
-                for sub in ast.walk(node.value):
-                    if isinstance(sub, ast.Name) and sub.id in constructed:
-                        cleared.add(sub.id)
-        return cleared
+def _acc_construction(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in AXPY_ACCUMULATOR_CONSTRUCTORS)
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _AccumulatorAnalysis(Analysis):
+    """Pending-accumulator liveness over one function's CFG.
+
+    Environment: sorted tuple of ``(name, construction_line)`` pairs for
+    locally constructed accumulators whose pending state has neither been
+    flushed nor handed off on this path.
+    """
+
+    def __init__(self, label: str):
+        super().__init__()
+        self.label = label
+
+    def initial(self):
+        return ()
+
+    def at_exit(self, env) -> None:
+        for name, line in env:
+            self.report(
+                "AXPY001", line,
+                f"accumulator '{name}' constructed here is neither "
+                f"flushed nor handed off in {self.label} — "
+                f"its pending updates die with it",
+            )
+
+    def transfer(self, node: Node, env, edge: str):
+        state = dict(env)
+        stmt = node.stmt
+        if node.kind == "assume":
+            decomposed = none_test_name(stmt) if stmt is not None else None
+            if decomposed is not None:
+                name, none_when_true = decomposed
+                if name in state and none_when_true == (node.meta == "then"):
+                    return []  # a tracked accumulator is not None
+            return [env]
+        if node.kind == "stmt" and isinstance(stmt, ast.Assign):
+            if (_acc_construction(stmt.value)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                if edge == "normal":
+                    state[stmt.targets[0].id] = stmt.lineno
+            else:
+                # storing an accumulator hands its lifetime to the
+                # target's owner; rebinding the name drops tracking
+                for name in _names_in(stmt.value) & set(state):
+                    del state[name]
+                if edge == "normal":
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            state.pop(target.id, None)
+        elif node.kind == "stmt" and isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr in AXPY_FLUSH_METHODS
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id in state):
+                # acc.flush(...) clears the obligation (credited on the
+                # exception edge too: the flush call is the last risk)
+                del state[value.func.value.id]
+            elif (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)):
+                # a method *on* the accumulator (acc.append(...)) stages
+                # more state without transferring ownership; names passed
+                # as arguments to any call are handed off
+                args = list(value.args) + [k.value for k in value.keywords]
+                for arg in args:
+                    for name in _names_in(arg) & set(state):
+                        del state[name]
+            else:
+                for name in _names_in(value) & set(state):
+                    del state[name]
+        elif node.kind in ("return", "raise"):
+            for expr in node.exprs:
+                for name in _names_in(expr) & set(state):
+                    del state[name]
+        elif node.kind == "stmt" and stmt is not None:
+            for name in _names_in(stmt) & set(state):
+                del state[name]
+        return [tuple(sorted(state.items()))]

@@ -10,7 +10,8 @@ mechanism of the suite:
 
 ``# schur-ok: <reason>`` / ``# dtype-ok: <reason>`` /
 ``# resource-ok: <reason>`` / ``# lock-ok: <reason>`` /
-``# axpy-ok: <reason>``
+``# axpy-ok: <reason>`` / ``# pkl-ok: <reason>`` /
+``# blk-ok: <reason>`` / ``# slb-ok: <reason>`` / ``# det-ok: <reason>``
     Waive findings of the corresponding checker on this line.  A reason is
     mandatory — a waiver without justification is itself reported.
 """
@@ -33,10 +34,15 @@ MARKER_KINDS = {
     "resource-ok": True,
     "lock-ok": True,
     "axpy-ok": True,
+    "pkl-ok": True,
+    "blk-ok": True,
+    "slb-ok": True,
+    "det-ok": True,
 }
 
 _MARKER_RE = re.compile(
-    r"#\s*(?P<kind>guarded-by|schur-ok|dtype-ok|resource-ok|lock-ok|axpy-ok)"
+    r"#\s*(?P<kind>guarded-by|schur-ok|dtype-ok|resource-ok|lock-ok|axpy-ok"
+    r"|pkl-ok|blk-ok|slb-ok|det-ok)"
     r"\s*(?::\s*(?P<value>.*?))?\s*$"
 )
 
@@ -151,6 +157,36 @@ def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
                 yield f
 
 
+def load_source(path: Path) -> "Tuple[Optional[ModuleSource], Optional[Finding]]":
+    """Parse one file: ``(source, None)`` on success, ``(None, E000)`` not.
+
+    Anything that prevents analysis — a syntax error, an undecodable
+    encoding, an unreadable file — is reported as a regular ``E000``
+    finding with a location instead of aborting the run.
+    """
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        line = 1
+        detail = getattr(exc, "strerror", None) or str(exc)
+        return None, Finding(
+            "runner", "E000", path.as_posix(), line,
+            f"cannot read file: {detail}",
+        )
+    try:
+        return ModuleSource(path, text), None
+    except SyntaxError as exc:
+        return None, Finding(
+            "runner", "E000", path.as_posix(), exc.lineno or 1,
+            f"syntax error: {exc.msg}",
+        )
+    except (ValueError, tokenize.TokenizeError) as exc:
+        return None, Finding(
+            "runner", "E000", path.as_posix(), 1,
+            f"cannot tokenize file: {exc}",
+        )
+
+
 def iter_sources(paths: Iterable[str]) -> Iterator[ModuleSource]:
     """Parse every python file under ``paths`` into a :class:`ModuleSource`.
 
@@ -158,23 +194,18 @@ def iter_sources(paths: Iterable[str]) -> Iterator[ModuleSource]:
     separately via :func:`parse_failures`.
     """
     for f in iter_python_files(paths):
-        try:
-            yield ModuleSource(f, f.read_text())
-        except SyntaxError:
-            continue
+        mod, _ = load_source(f)
+        if mod is not None:
+            yield mod
 
 
 def parse_failures(paths: Iterable[str]) -> List[Finding]:
-    """Findings for files that do not parse at all."""
+    """E000 findings for files that cannot be read or parsed at all."""
     out = []
     for f in iter_python_files(paths):
-        try:
-            ast.parse(f.read_text(), filename=str(f))
-        except SyntaxError as exc:
-            out.append(Finding(
-                "parser", "PARSE001", f.as_posix(), exc.lineno or 1,
-                f"syntax error: {exc.msg}",
-            ))
+        _, failure = load_source(f)
+        if failure is not None:
+            out.append(failure)
     return out
 
 

@@ -1,0 +1,105 @@
+"""Committed finding baseline: accepted findings with justifications.
+
+``tools/analysis/baseline.json`` holds a list of entries::
+
+    {
+      "code": "RES008",
+      "path": "src/repro/runtime/example.py",
+      "contains": "handle 'alloc'",
+      "justification": "why this finding is accepted, reviewed by a human"
+    }
+
+A finding is *baselined* when an entry's ``code`` matches exactly, the
+finding's path ends with the entry's ``path`` and the entry's
+``contains`` substring (optional) occurs in the message.  Baselined
+findings do not fail the run; they are carried into SARIF output as
+suppressed results.  ``justification`` is mandatory — an entry without
+one is a configuration error, reported as ``E000``.
+
+Prefer inline ``# <kind>-ok: reason`` waivers for single lines you own;
+use the baseline for findings whose fix is tracked separately or whose
+waiver would not attach cleanly to one line.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from tools.analysis.base import Finding
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    code: str
+    path: str
+    contains: str
+    justification: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.code == self.code
+            and finding.path.endswith(self.path)
+            and (not self.contains or self.contains in finding.message)
+        )
+
+
+def load_baseline(path: Path) -> Tuple[List[BaselineEntry], List[Finding]]:
+    """Parse a baseline file; malformed entries become E000 findings."""
+    entries: List[BaselineEntry] = []
+    errors: List[Finding] = []
+    if not path.exists():
+        return entries, errors
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return entries, [Finding(
+            "runner", "E000", path.as_posix(), 1,
+            f"cannot read baseline: {exc}",
+        )]
+    if not isinstance(raw, list):
+        return entries, [Finding(
+            "runner", "E000", path.as_posix(), 1,
+            "baseline must be a JSON list of entries",
+        )]
+    for i, item in enumerate(raw):
+        if not isinstance(item, dict) or not item.get("code") \
+                or not item.get("path"):
+            errors.append(Finding(
+                "runner", "E000", path.as_posix(), 1,
+                f"baseline entry {i} needs 'code' and 'path' keys",
+            ))
+            continue
+        if not str(item.get("justification", "")).strip():
+            errors.append(Finding(
+                "runner", "E000", path.as_posix(), 1,
+                f"baseline entry {i} ({item['code']} {item['path']}) has "
+                f"no justification — accepted findings must say why",
+            ))
+            continue
+        entries.append(BaselineEntry(
+            code=str(item["code"]),
+            path=str(item["path"]),
+            contains=str(item.get("contains", "")),
+            justification=str(item["justification"]).strip(),
+        ))
+    return entries, errors
+
+
+def split_baselined(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry],
+) -> Tuple[List[Finding], List[Tuple[Finding, str]]]:
+    """Partition into (open, [(suppressed, justification), ...])."""
+    open_findings: List[Finding] = []
+    suppressed: List[Tuple[Finding, str]] = []
+    for finding in findings:
+        entry = next((e for e in entries if e.matches(finding)), None)
+        if entry is None:
+            open_findings.append(finding)
+        else:
+            suppressed.append((finding, entry.justification))
+    return open_findings, suppressed

@@ -1,0 +1,134 @@
+"""blocking-under-lock: never wait for another thread while holding a lock.
+
+The deadlock shape PR 5's drain-and-retry admission exists to avoid: a
+thread holding a :data:`~tools.analysis.config.LOCK_HIERARCHY` lock
+blocks on progress (a future's ``result()``, a condition ``wait``, a
+blocking ``acquire``, a pool ``submit`` on a saturated queue) that can
+only be made by another thread which needs that same lock.  The checker
+runs the held-lock-set dataflow, so a wait after the ``with`` released
+the lock — or on an exception edge past the release — is not flagged.
+
+* BLK001 — a blocking call (``Condition.wait``/``wait_for``, a
+  ``Future.result``/``join`` on a future/thread-shaped receiver, a
+  ``.acquire(timeout=...)`` or a blocking tracker ``acquire``) while a
+  hierarchy lock is held.  The one sanctioned shape is waiting on the
+  *only* held lock itself (``with self._cond: self._cond.wait()``) —
+  ``Condition.wait`` atomically releases it while sleeping.
+* BLK002 — a pool interaction (``submit``/``map``/``shutdown`` on an
+  executor/pool-shaped receiver) while a hierarchy lock is held: pool
+  submission can block on a full call queue and completion callbacks may
+  take scheduler locks.
+
+Waive with ``# blk-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.analysis.base import Checker, Finding, ModuleSource, \
+    attribute_chain, receiver_root
+from tools.analysis.config import (
+    BLOCKING_RECEIVER_HINTS,
+    POOL_RECEIVER_HINTS,
+    TRACKER_RECEIVER_HINT,
+)
+from tools.analysis.engine import Node, iter_scopes, run_analysis, \
+    walk_expressions
+from tools.analysis.engine.locksets import LockTrackingAnalysis, self_attr
+
+_POOL_METHODS = frozenset({"submit", "map", "shutdown"})
+
+
+def _receiver_text(func: ast.Attribute) -> str:
+    """Lower-cased dotted receiver (``self._done_futs.pop`` -> self._done_futs)."""
+    root = receiver_root(func) or ""
+    chain = attribute_chain(func)[:-1]
+    return ".".join([root] + chain).lower()
+
+
+def _false_keyword(call: ast.Call, names) -> bool:
+    """True when the call passes ``<name>=False`` for one of ``names``."""
+    for kw in call.keywords:
+        if (kw.arg in names and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False):
+            return True
+    return False
+
+
+class _BlockingAnalysis(LockTrackingAnalysis):
+    def __init__(self, context: str):
+        super().__init__()
+        self.context = context
+
+    def on_node(self, node: Node, held) -> None:
+        if not held:
+            return
+        for expr in node.exprs:
+            for sub in walk_expressions(expr):
+                if isinstance(sub, ast.Call):
+                    self._check_call(sub, held)
+
+    def _check_call(self, call: ast.Call, held) -> None:
+        if not isinstance(call.func, ast.Attribute):
+            return
+        attr = call.func.attr
+        receiver = _receiver_text(call.func)
+        held_desc = "', '".join(held)
+
+        def blocked(what: str, code: str = "BLK001") -> None:
+            self.report(
+                code, call.lineno,
+                f"{what} while holding '{held_desc}' in {self.context} — "
+                f"the awaited progress may need the held lock (deadlock "
+                f"shape); release first, or drain-and-retry non-blocking",
+            )
+
+        if attr in ("wait", "wait_for"):
+            lock_attr = self_attr(call.func.value)
+            if lock_attr is not None and lock_attr in held:
+                if len(held) == 1:
+                    return  # Condition.wait releases the lock it waits on
+                blocked(f"'{receiver}.{attr}()' releases only its own lock "
+                        f"while sleeping")
+                return
+            blocked(f"blocking '{receiver}.{attr}()'")
+            return
+        if attr in ("result", "join"):
+            if any(h in receiver for h in BLOCKING_RECEIVER_HINTS):
+                blocked(f"blocking '{receiver}.{attr}()'")
+            return
+        if attr == "acquire":
+            if any(h in receiver for h in POOL_RECEIVER_HINTS):
+                return  # non-blocking free-list pop (slab pool)
+            if "slab" in receiver:
+                return
+            if _false_keyword(call, ("block", "blocking")):
+                return
+            if (TRACKER_RECEIVER_HINT in receiver
+                    or any(kw.arg == "timeout" for kw in call.keywords)):
+                blocked(f"blocking '{receiver}.acquire(...)' admission")
+            return
+        if attr in _POOL_METHODS:
+            if any(h in receiver for h in POOL_RECEIVER_HINTS):
+                blocked(f"pool interaction '{receiver}.{attr}()'", "BLK002")
+
+
+class BlockingUnderLockChecker(Checker):
+    name = "blocking-under-lock"
+    waiver = "blk-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        for scope in iter_scopes(mod.tree):
+            if scope.is_module:
+                continue
+            if mod.waived(scope.node.lineno, "blk-ok"):
+                continue
+            analysis = _BlockingAnalysis(scope.label)
+            for code, line, message in run_analysis(scope.cfg(), analysis):
+                f = self.finding(mod, code, line, message)
+                if f is not None:
+                    findings.append(f)
+        return findings

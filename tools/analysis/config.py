@@ -19,6 +19,12 @@ BORROW_METHOD = "borrow"
 #: tracker — this keeps ``threading.Lock.acquire`` out of scope.
 TRACKER_RECEIVER_HINT = "tracker"
 
+#: Methods whose *tuple* return transfers an allocation handle to the
+#: caller: ``data, alloc = solver.take_schur()`` makes the caller the
+#: owner of ``alloc``, with the same free-on-every-path obligation as a
+#: direct ``tracker.acquire(...)``.
+ALLOC_TUPLE_METHODS = frozenset({"take_schur"})
+
 #: Constructors returning an owned workspace arena.  The arena wraps a
 #: tracked allocation (charged once, resized in place, recycled between
 #: fronts), so the *arena object itself* is the handle: constructing one
@@ -100,6 +106,84 @@ AXPY_FLUSH_METHODS = frozenset({"flush", "flush_accumulators"})
 #: Factorize entry points that silently drop pending accumulator state —
 #: a flush on the same receiver must precede them lexically.
 AXPY_FACTORIZE_METHODS = frozenset({"factorize"})
+
+# -- pickle-safety (process-backend kernels) ----------------------------------
+
+#: ``PanelTask`` keyword arguments that name a function executed in a
+#: worker *process*: the value must resolve to a module-level function.
+PICKLE_ENTRY_KWARGS = frozenset({"kernel", "worker_builder"})
+
+#: Identifier substrings that mark a value as process-unsafe when it is
+#: captured by (or passed to) a process-executed kernel: locks, condition
+#: variables, trackers, executors/pools, open slabs, futures, threads and
+#: runtime objects either cannot pickle at all or pickle into a
+#: meaningless per-process copy.
+PICKLE_UNSAFE_HINTS = (
+    "lock", "cond", "tracker", "executor", "pool", "slab", "future",
+    "thread", "runtime",
+)
+
+# -- blocking-under-lock -------------------------------------------------------
+
+#: Method names that block the calling thread until another thread makes
+#: progress.  Calling one while holding any :data:`LOCK_HIERARCHY` lock
+#: is the deadlock shape the process backend's drain-and-retry admission
+#: exists to avoid: the progress the caller waits for may itself need the
+#: held lock.
+BLOCKING_METHODS = frozenset({"wait", "wait_for", "result", "join"})
+
+#: Receiver-name substrings that make a ``submit``/``map``/``shutdown``
+#: call a pool interaction (pool submission can block on a saturated work
+#: queue and its callbacks may take scheduler locks).
+POOL_RECEIVER_HINTS = ("pool", "executor")
+
+#: Receiver-name substrings identifying future/thread objects so that a
+#: bare ``x.join()`` on a string or path does not trip the checker.
+BLOCKING_RECEIVER_HINTS = (
+    "future", "fut", "thread", "worker", "proc", "cond", "event", "queue",
+    "_done", "pending",
+)
+
+# -- slab-lifecycle ------------------------------------------------------------
+
+#: Pool methods that check a shared-memory slab out (the returned name /
+#: handle must be returned or closed on every path).  Only calls whose
+#: receiver matches :data:`SLAB_RECEIVER_HINTS` count, so the tracker's
+#: ``acquire`` stays in resource-discipline's jurisdiction.
+SLAB_CHECKOUT_METHODS = frozenset({"acquire", "checkout"})
+
+#: Pool methods that return a checked-out slab (the slab travels as the
+#: first argument: ``pool.release(name)``).
+SLAB_RETURN_METHODS = frozenset({"release", "checkin"})
+
+#: Receiver-name substrings identifying a slab pool.
+SLAB_RECEIVER_HINTS = ("slab",)
+
+#: Constructors that open an OS-level shared-memory handle; every
+#: instance must reach ``.close()`` (attach) or ``.unlink()`` (owner) on
+#: all paths or the segment outlives the process.
+SHM_CONSTRUCTORS = frozenset({"SharedMemory"})
+
+#: Methods that settle a shared-memory handle.
+SHM_RELEASE_METHODS = frozenset({"close", "unlink"})
+
+# -- determinism ---------------------------------------------------------------
+
+#: Functions of the :mod:`random` module (and legacy ``np.random``)
+#: that draw from hidden global state: their sequence depends on import
+#: order and thread interleaving, so results are not reproducible across
+#: backends.  Seeded generators (``np.random.default_rng(seed)``) are the
+#: sanctioned alternative.
+DET_GLOBAL_RANDOM_MODULES = frozenset({"random"})
+DET_LEGACY_NP_RANDOM_FUNCS = frozenset({
+    "rand", "randn", "random", "randint", "choice", "permutation",
+    "shuffle", "seed", "standard_normal", "uniform",
+})
+
+#: Wall-clock sources; ``time.perf_counter``/``monotonic`` are fine for
+#: timing but wall-clock values must not flow into kernels or ordered
+#: commits.
+DET_WALLCLOCK_FUNCS = frozenset({"time", "time_ns", "ctime", "localtime"})
 
 # -- dtype-safety -------------------------------------------------------------
 

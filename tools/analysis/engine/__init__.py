@@ -1,0 +1,63 @@
+"""Intraprocedural CFG + forward-dataflow engine for the checker suite.
+
+Checkers build a :class:`~tools.analysis.engine.cfg.CFG` per analysed
+scope with :func:`build_cfg`, subclass
+:class:`~tools.analysis.engine.dataflow.Analysis`, and run it to
+fixpoint with :func:`run_analysis`.  :func:`iter_scopes` yields the
+scopes of a module the way the flow-sensitive checkers analyse them:
+the module body itself, then every (possibly nested) function body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .cfg import (CFG, Node, build_cfg, can_raise, none_test_name,
+                  walk_expressions)
+from .dataflow import Analysis, run_analysis
+
+__all__ = [
+    "Analysis", "CFG", "Node", "Scope", "build_cfg", "can_raise",
+    "iter_scopes", "none_test_name", "run_analysis", "walk_expressions",
+]
+
+
+class Scope:
+    """One analysable statement list: a module body or a function body."""
+
+    def __init__(self, label: str, body: Sequence[ast.stmt],
+                 node: Optional[ast.AST],
+                 enclosing_class: Optional[ast.ClassDef]):
+        self.label = label
+        self.body = list(body)
+        #: The defining AST node (``None`` for the module scope).
+        self.node = node
+        #: Innermost enclosing class, when the scope is a method body.
+        self.enclosing_class = enclosing_class
+
+    @property
+    def is_module(self) -> bool:
+        return self.node is None
+
+    def cfg(self) -> CFG:
+        return build_cfg(self.body, self.label)
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[Scope]:
+    """Yield the module scope, then every function scope (outside-in)."""
+    yield Scope("<module>", tree.body, None, None)
+
+    stack: List[Tuple[ast.AST, Optional[ast.ClassDef]]] = [(tree, None)]
+    while stack:
+        node, klass = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                label = child.name if klass is None \
+                    else f"{klass.name}.{child.name}"
+                yield Scope(label, child.body, child, klass)
+                stack.append((child, klass))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, child))
+            else:
+                stack.append((child, klass))

@@ -1,0 +1,472 @@
+"""Intraprocedural control-flow graphs over ``ast`` statement lists.
+
+A :class:`CFG` has one synthetic ``entry``, one ``exit`` (normal
+completion) and one ``raise_exit`` (an exception escaping the analysed
+scope), plus one node per *simple* statement, branch head, loop head,
+``with`` enter/exit, ``return``/``raise`` and exception-handler entry.
+Each node records the sub-expressions actually *evaluated* at that point
+(``Node.exprs``) — checkers walk those, never a compound statement's
+body, so an ``if`` head contributes only its test.
+
+Edges come in two colours: ``succs`` (normal control flow) and
+``esuccs`` (the statement raised).  A statement is considered *raising*
+when it contains a call, an explicit ``raise`` or an ``assert`` — pure
+data movement (``x = y``) cannot leave the normal path, which keeps the
+exception edge set small enough to be meaningful.
+
+``try``/``except``/``finally`` is modelled path-sensitively:
+
+* exceptions in the ``try`` body flow to a *dispatch* node, which edges
+  into every handler and — unless a catch-all handler exists — onward
+  along the propagation chain;
+* the ``finally`` suite is **duplicated** per continuation kind (normal
+  completion, exception propagation, and each ``return``/``break``/
+  ``continue`` that crosses it), so the dataflow state of the exception
+  path never contaminates the normal path;
+* ``return``/``break``/``continue`` unwind the active ``with`` blocks
+  (synthetic ``with_exit`` nodes release their locks) and inline the
+  pending ``finally`` suites innermost-first before jumping.
+
+The builder is deliberately intraprocedural and syntactic: calls are
+opaque, and exceptions raised by a nested function *definition* are not
+modelled (the body runs later, in its own CFG).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["CFG", "Node", "build_cfg", "can_raise", "none_test_name",
+           "walk_expressions"]
+
+#: Node kinds a builder may emit.
+NODE_KINDS = frozenset({
+    "entry", "exit", "raise_exit", "stmt", "branch", "assume", "loop",
+    "with_enter", "with_exit", "return", "raise", "handler", "dispatch",
+    "join",
+})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+
+@dataclass
+class Node:
+    """One CFG node; ``stmt`` is the originating AST statement (if any)."""
+
+    idx: int
+    kind: str
+    stmt: Optional[ast.AST] = None
+    line: int = 0
+    succs: List[int] = field(default_factory=list)
+    esuccs: List[int] = field(default_factory=list)
+    #: Sub-expressions evaluated at this node (checkers walk these).
+    exprs: List[ast.AST] = field(default_factory=list)
+    #: Extra node-kind detail: for ``assume`` nodes, ``"then"``/``"else"``
+    #: (the polarity of the branch test, held in ``stmt``).
+    meta: Optional[str] = None
+
+
+class CFG:
+    """Control-flow graph of one statement list (function body or module)."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.nodes: List[Node] = []
+        self.entry = self._new_node("entry")
+        self.exit = self._new_node("exit")
+        self.raise_exit = self._new_node("raise_exit")
+
+    def _new_node(self, kind: str, stmt: Optional[ast.AST] = None,
+                  exprs: Sequence[ast.AST] = ()) -> Node:
+        node = Node(
+            idx=len(self.nodes), kind=kind, stmt=stmt,
+            line=getattr(stmt, "lineno", 0) if stmt is not None else 0,
+            exprs=[e for e in exprs if e is not None],
+        )
+        self.nodes.append(node)
+        return node
+
+    def node(self, idx: int) -> Node:
+        return self.nodes[idx]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def walk_expressions(expr: ast.AST, *, into_lambdas: bool = False):
+    """Yield every node of ``expr`` without descending into nested scopes.
+
+    Comprehension element/condition expressions *are* visited (they are
+    evaluated eagerly in the enclosing frame for analysis purposes);
+    lambda bodies and nested ``def``/``class`` bodies are not, unless
+    ``into_lambdas`` asks for lambda bodies too.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _SCOPE_NODES):
+                if into_lambdas and isinstance(child, ast.Lambda):
+                    stack.append(child)
+                continue
+            stack.append(child)
+
+
+def can_raise(node: ast.AST) -> bool:
+    """Whether evaluating ``node`` can leave the normal control-flow path.
+
+    Calls, ``raise`` and ``assert`` count; attribute reads and arithmetic
+    do not (they *can* raise, but flagging every expression would drown
+    the exception-path analysis in noise).
+    """
+    for sub in walk_expressions(node):
+        if isinstance(sub, (ast.Call, ast.Raise, ast.Assert, ast.Await)):
+            return True
+    return False
+
+
+def none_test_name(test: ast.AST) -> Optional[Tuple[str, bool]]:
+    """Decompose a None-ness test on a plain name.
+
+    ``x is None`` -> ``("x", True)``; ``x is not None`` -> ``("x", False)``;
+    anything else -> ``None``.  Analyses use this at ``assume`` nodes to
+    prune infeasible branches: an environment that tracks ``x`` as a live
+    handle knows ``x`` is not None, so the ``x is None`` arm never runs
+    with that environment.
+    """
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.left, ast.Name)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None):
+        if isinstance(test.ops[0], ast.Is):
+            return test.left.id, True
+        if isinstance(test.ops[0], ast.IsNot):
+            return test.left.id, False
+    return None
+
+
+# -- builder --------------------------------------------------------------------
+
+#: Unwind-stack entries: a pending ``finally`` suite or an open ``with``.
+@dataclass
+class _FinallyFrame:
+    stmts: List[ast.stmt]
+    outer_exc: int  # exception target in effect outside the try statement
+
+
+@dataclass
+class _WithFrame:
+    stmt: ast.With
+
+
+@dataclass
+class _Loop:
+    head: int
+    after: int
+    depth: int  # unwind-stack depth at loop entry
+
+
+class _Builder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.exc = cfg.raise_exit.idx
+        self.unwind: List[object] = []  # _FinallyFrame | _WithFrame
+        self.loops: List[_Loop] = []
+
+    # -- plumbing -------------------------------------------------------------
+    def new(self, kind: str, stmt: Optional[ast.AST] = None,
+            exprs: Sequence[ast.AST] = ()) -> Node:
+        return self.cfg._new_node(kind, stmt, exprs)
+
+    def edge(self, src: Optional[int], dst: int) -> None:
+        if src is None:
+            return
+        node = self.cfg.node(src)
+        if dst not in node.succs:
+            node.succs.append(dst)
+
+    def eedge(self, src: int, dst: int) -> None:
+        node = self.cfg.node(src)
+        if dst not in node.esuccs:
+            node.esuccs.append(dst)
+
+    # -- statement sequences --------------------------------------------------
+    def seq(self, stmts: Sequence[ast.stmt],
+            cur: Optional[int]) -> Optional[int]:
+        for stmt in stmts:
+            if cur is None:
+                break
+            cur = self.stmt(stmt, cur)
+        return cur
+
+    def stmt(self, stmt: ast.stmt, cur: int) -> Optional[int]:
+        handler = getattr(self, "stmt_" + type(stmt).__name__, None)
+        if handler is not None:
+            return handler(stmt, cur)
+        return self.simple(stmt, cur)
+
+    def simple(self, stmt: ast.stmt, cur: int) -> int:
+        node = self.new("stmt", stmt, exprs=[stmt])
+        self.edge(cur, node.idx)
+        if can_raise(stmt):
+            self.eedge(node.idx, self.exc)
+        return node.idx
+
+    # -- unwinding (return / break / continue across with & finally) ----------
+    def unwind_to(self, cur: Optional[int], depth: int) -> Optional[int]:
+        """Run pending with-exits / finally suites down to ``depth``."""
+        for frame in reversed(self.unwind[depth:]):
+            if cur is None:
+                return None
+            if isinstance(frame, _WithFrame):
+                node = self.new("with_exit", frame.stmt)
+                self.edge(cur, node.idx)
+                cur = node.idx
+            else:
+                cur = self.inline_finally(frame, cur)
+        return cur
+
+    def inline_finally(self, frame: _FinallyFrame,
+                       cur: Optional[int]) -> Optional[int]:
+        """Duplicate ``frame``'s suite after ``cur`` (one continuation)."""
+        if cur is None:
+            return None
+        saved_exc, saved_unwind, saved_loops = (
+            self.exc, self.unwind, self.loops,
+        )
+        # inside the duplicated finally only *outer* context applies; an
+        # exception there propagates along the chain active outside the try
+        self.exc = frame.outer_exc
+        self.unwind = []
+        self.loops = []
+        try:
+            return self.seq(frame.stmts, cur)
+        finally:
+            self.exc, self.unwind, self.loops = (
+                saved_exc, saved_unwind, saved_loops,
+            )
+
+    # -- statements -----------------------------------------------------------
+    def stmt_Return(self, stmt: ast.Return, cur: int) -> None:
+        node = self.new("return", stmt, exprs=[stmt.value])
+        self.edge(cur, node.idx)
+        if stmt.value is not None and can_raise(stmt.value):
+            self.eedge(node.idx, self.exc)
+        tail = self.unwind_to(node.idx, 0)
+        self.edge(tail, self.cfg.exit.idx)
+        return None
+
+    def stmt_Raise(self, stmt: ast.Raise, cur: int) -> None:
+        node = self.new("raise", stmt, exprs=[stmt.exc, stmt.cause])
+        self.edge(cur, node.idx)
+        self.eedge(node.idx, self.exc)
+        return None
+
+    def stmt_Break(self, stmt: ast.Break, cur: int) -> None:
+        if not self.loops:
+            return None
+        loop = self.loops[-1]
+        node = self.new("stmt", stmt)
+        self.edge(cur, node.idx)
+        tail = self.unwind_to(node.idx, loop.depth)
+        self.edge(tail, loop.after)
+        return None
+
+    def stmt_Continue(self, stmt: ast.Continue, cur: int) -> None:
+        if not self.loops:
+            return None
+        loop = self.loops[-1]
+        node = self.new("stmt", stmt)
+        self.edge(cur, node.idx)
+        tail = self.unwind_to(node.idx, loop.depth)
+        self.edge(tail, loop.head)
+        return None
+
+    def assume(self, test: ast.AST, polarity: str, src: int) -> int:
+        """Synthetic node marking that ``test`` held (or not) on this edge."""
+        node = self.new("assume", test)
+        node.meta = polarity
+        self.edge(src, node.idx)
+        return node.idx
+
+    def stmt_If(self, stmt: ast.If, cur: int) -> Optional[int]:
+        head = self.new("branch", stmt, exprs=[stmt.test])
+        self.edge(cur, head.idx)
+        if can_raise(stmt.test):
+            self.eedge(head.idx, self.exc)
+        then_end = self.seq(stmt.body,
+                            self.assume(stmt.test, "then", head.idx))
+        else_entry = self.assume(stmt.test, "else", head.idx)
+        else_end = self.seq(stmt.orelse, else_entry) if stmt.orelse \
+            else else_entry
+        if then_end is None and else_end is None:
+            return None
+        join = self.new("join", stmt)
+        self.edge(then_end, join.idx)
+        self.edge(else_end, join.idx)
+        return join.idx
+
+    def _loop(self, stmt, cur: int, exprs, test=None) -> int:
+        head = self.new("loop", stmt, exprs=exprs)
+        self.edge(cur, head.idx)
+        if any(can_raise(e) for e in head.exprs):
+            self.eedge(head.idx, self.exc)
+        after = self.new("join", stmt)
+        self.loops.append(_Loop(head.idx, after.idx, len(self.unwind)))
+        body_entry = (self.assume(test, "then", head.idx)
+                      if test is not None else head.idx)
+        try:
+            body_end = self.seq(stmt.body, body_entry)
+        finally:
+            self.loops.pop()
+        self.edge(body_end, head.idx)  # back edge
+        # loop exit (condition false / iterator exhausted), through else
+        exit_entry = (self.assume(test, "else", head.idx)
+                      if test is not None else head.idx)
+        else_end = self.seq(stmt.orelse, exit_entry) if stmt.orelse \
+            else exit_entry
+        self.edge(else_end, after.idx)
+        return after.idx
+
+    def stmt_While(self, stmt: ast.While, cur: int) -> int:
+        return self._loop(stmt, cur, [stmt.test], test=stmt.test)
+
+    def stmt_For(self, stmt: ast.For, cur: int) -> int:
+        return self._loop(stmt, cur, [stmt.iter, stmt.target])
+
+    stmt_AsyncFor = stmt_For
+
+    def stmt_With(self, stmt: ast.With, cur: int) -> Optional[int]:
+        enter = self.new(
+            "with_enter", stmt,
+            exprs=[item.context_expr for item in stmt.items],
+        )
+        self.edge(cur, enter.idx)
+        self.eedge(enter.idx, self.exc)  # __enter__ can raise
+        # an exception in the body runs __exit__ before propagating
+        exc_exit = self.new("with_exit", stmt)
+        self.edge(exc_exit.idx, self.exc)
+        saved_exc, self.exc = self.exc, exc_exit.idx
+        self.unwind.append(_WithFrame(stmt))
+        try:
+            body_end = self.seq(stmt.body, enter.idx)
+        finally:
+            self.unwind.pop()
+            self.exc = saved_exc
+        if body_end is None:
+            return None
+        leave = self.new("with_exit", stmt)
+        self.edge(body_end, leave.idx)
+        return leave.idx
+
+    stmt_AsyncWith = stmt_With
+
+    def stmt_Try(self, stmt: ast.Try, cur: int) -> Optional[int]:
+        outer_exc = self.exc
+        # exception-propagation continuation: through the finally (if any)
+        # and onward along the chain active outside this try statement
+        if stmt.finalbody:
+            anchor = self.new("join", stmt)
+            frame = _FinallyFrame(stmt.finalbody, outer_exc)
+            tail = self.inline_finally(frame, anchor.idx)
+            self.edge(tail, outer_exc)
+            propagate = anchor.idx
+            self.unwind.append(frame)
+        else:
+            propagate = outer_exc
+
+        dispatch = self.new("dispatch", stmt)
+        self.exc = dispatch.idx
+        try:
+            body_end = self.seq(stmt.body, cur)
+        finally:
+            self.exc = outer_exc
+
+        if stmt.orelse and body_end is not None:
+            self.exc = propagate
+            try:
+                body_end = self.seq(stmt.orelse, body_end)
+            finally:
+                self.exc = outer_exc
+
+        handler_ends: List[Optional[int]] = []
+        caught_all = False
+        for handler in stmt.handlers:
+            hnode = self.new("handler", handler, exprs=[handler.type])
+            self.edge(dispatch.idx, hnode.idx)
+            self.exc = propagate  # a raise inside the handler propagates
+            try:
+                handler_ends.append(self.seq(handler.body, hnode.idx))
+            finally:
+                self.exc = outer_exc
+            if handler.type is None or (
+                isinstance(handler.type, ast.Name)
+                and handler.type.id in ("BaseException", "Exception")
+            ):
+                caught_all = True
+        if not caught_all:
+            # an exception no handler matches continues propagating
+            self.edge(dispatch.idx, propagate)
+
+        if stmt.finalbody:
+            self.unwind.pop()
+
+        ends = [e for e in handler_ends + [body_end] if e is not None]
+        if not ends:
+            return None
+        join = self.new("join", stmt)
+        for end in ends:
+            self.edge(end, join.idx)
+        if not stmt.finalbody:
+            return join.idx
+        # normal-completion copy of the finally suite
+        tail = self.inline_finally(
+            _FinallyFrame(stmt.finalbody, outer_exc), join.idx
+        )
+        return tail
+
+    def stmt_Match(self, stmt, cur: int) -> Optional[int]:
+        head = self.new("branch", stmt, exprs=[stmt.subject])
+        self.edge(cur, head.idx)
+        if can_raise(stmt.subject):
+            self.eedge(head.idx, self.exc)
+        ends = []
+        for case in stmt.cases:
+            ends.append(self.seq(case.body, head.idx))
+        ends.append(head.idx)  # no case matched
+        live = [e for e in ends if e is not None]
+        if not live:
+            return None
+        join = self.new("join", stmt)
+        for end in live:
+            self.edge(end, join.idx)
+        return join.idx
+
+    def stmt_FunctionDef(self, stmt, cur: int) -> int:
+        # nested scope: runs later, analysed as its own CFG
+        node = self.new("stmt", stmt, exprs=[])
+        self.edge(cur, node.idx)
+        return node.idx
+
+    stmt_AsyncFunctionDef = stmt_FunctionDef
+    stmt_ClassDef = stmt_FunctionDef
+
+    def stmt_Assert(self, stmt: ast.Assert, cur: int) -> int:
+        node = self.new("stmt", stmt, exprs=[stmt.test, stmt.msg])
+        self.edge(cur, node.idx)
+        self.eedge(node.idx, self.exc)
+        return node.idx
+
+
+def build_cfg(body: Sequence[ast.stmt], label: str) -> CFG:
+    """Build the CFG of one statement list (a function body or a module)."""
+    cfg = CFG(label)
+    builder = _Builder(cfg)
+    end = builder.seq(list(body), cfg.entry.idx)
+    builder.edge(end, cfg.exit.idx)
+    return cfg

@@ -1,0 +1,139 @@
+"""Worklist fixpoint driver over :mod:`tools.analysis.engine.cfg` graphs.
+
+The engine runs a *collecting semantics*: the state attached to a CFG
+node is a ``frozenset`` of abstract environments (each environment a
+hashable value chosen by the analysis, typically a tuple of
+``(name, fact)`` pairs).  Keeping environments separate — instead of
+joining them into one map — is what makes the checkers path-sensitive:
+the lock-set on the exception path never bleeds into the normal path.
+
+An analysis implements :class:`Analysis`:
+
+* ``initial()`` — the environment at function entry;
+* ``transfer(node, env, edge)`` — the successor environments of ``env``
+  across ``node``, where ``edge`` is ``"normal"`` or ``"exc"``.  Return
+  an iterable of environments (usually one; zero kills the path).
+  Findings are emitted through ``self.report`` during transfer — the
+  driver deduplicates them, so re-visiting a node under the fixpoint
+  iteration cannot double-report;
+* ``at_exit(env)`` / ``at_raise_exit(env)`` — inspect environments that
+  reach normal completion or escape with an exception.
+
+Termination: environments live in finite tuples over finite fact
+domains, and the per-node state only grows.  As a safety net against a
+pathological blow-up, once a node accumulates more than ``env_cap``
+environments the driver collapses them with ``Analysis.widen`` (default:
+keep an arbitrary-but-deterministic subset), trading path precision for
+a guaranteed fixpoint.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Tuple
+
+from .cfg import CFG, Node
+
+__all__ = ["Analysis", "run_analysis"]
+
+Env = Hashable
+
+
+class Analysis:
+    """Base class of a forward dataflow analysis over one CFG."""
+
+    #: Per-node environment-count cap before widening kicks in.
+    env_cap = 192
+
+    def __init__(self) -> None:
+        self._emit: Callable[..., None] = lambda *a, **k: None
+
+    # -- to override ----------------------------------------------------------
+    def initial(self) -> Env:
+        return ()
+
+    def transfer(self, node: Node, env: Env, edge: str) -> Iterable[Env]:
+        raise NotImplementedError
+
+    def at_exit(self, env: Env) -> None:
+        """Called once per distinct environment reaching normal exit."""
+
+    def at_raise_exit(self, env: Env) -> None:
+        """Called once per distinct environment escaping via an exception."""
+
+    def widen(self, envs: FrozenSet[Env]) -> FrozenSet[Env]:
+        """Collapse an oversized environment set (default: truncate)."""
+        return frozenset(sorted(envs, key=repr)[: self.env_cap])
+
+    # -- for transfer functions ----------------------------------------------
+    def report(self, *key) -> None:
+        """Emit a finding key; the driver deduplicates across iterations."""
+        self._emit(*key)
+
+
+def run_analysis(cfg: CFG, analysis: Analysis) -> List[Tuple]:
+    """Run ``analysis`` to fixpoint on ``cfg``; return deduped finding keys.
+
+    Finding keys are returned in first-reported order so checker output is
+    stable across runs.
+    """
+    findings: List[Tuple] = []
+    seen = set()
+
+    def emit(*key) -> None:
+        if key not in seen:
+            seen.add(key)
+            findings.append(key)
+
+    analysis._emit = emit
+
+    instates: Dict[int, FrozenSet[Env]] = {
+        cfg.entry.idx: frozenset([analysis.initial()])
+    }
+    work = deque([cfg.entry.idx])
+    queued = {cfg.entry.idx}
+
+    def push(dst: int, envs: Iterable[Env]) -> None:
+        envs = frozenset(envs)
+        if not envs:
+            return
+        old = instates.get(dst, frozenset())
+        new = old | envs
+        if len(new) > analysis.env_cap:
+            new = analysis.widen(new)
+        if new != old:
+            instates[dst] = new
+            if dst not in queued:
+                queued.add(dst)
+                work.append(dst)
+
+    done_exit: set = set()
+    done_raise: set = set()
+
+    while work:
+        idx = work.popleft()
+        queued.discard(idx)
+        node = cfg.node(idx)
+        envs = instates.get(idx, frozenset())
+        if node.kind == "exit":
+            for env in envs - done_exit:
+                done_exit.add(env)
+                analysis.at_exit(env)
+            continue
+        if node.kind == "raise_exit":
+            for env in envs - done_raise:
+                done_raise.add(env)
+                analysis.at_raise_exit(env)
+            continue
+        normal_out: List[Env] = []
+        exc_out: List[Env] = []
+        for env in envs:
+            normal_out.extend(analysis.transfer(node, env, "normal"))
+            if node.esuccs:
+                exc_out.extend(analysis.transfer(node, env, "exc"))
+        for succ in node.succs:
+            push(succ, normal_out)
+        for succ in node.esuccs:
+            push(succ, exc_out)
+
+    return findings

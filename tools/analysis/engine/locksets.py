@@ -1,0 +1,86 @@
+"""Held-lock-set dataflow shared by lock-discipline and blocking-under-lock.
+
+The environment is the ordered tuple of ``self.<lock>`` attributes held
+at a program point.  ``with self._cond:`` pushes, leaving the ``with``
+(normally, via an exception, or through a ``return``/``break`` unwind)
+pops — the CFG's synthetic ``with_exit`` nodes make the release visible
+on every path, which is what the lexical PR 2 visitor could not do for
+``return`` inside ``with`` or for exception edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from tools.analysis.config import LOCK_HIERARCHY
+from .cfg import Node
+from .dataflow import Analysis
+
+__all__ = ["LockTrackingAnalysis", "self_attr", "with_locks"]
+
+
+def self_attr(node: ast.AST) -> Optional[str]:
+    """``self.<attr>`` -> attr, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def with_locks(stmt: ast.With, extra: Iterable[str] = ()) -> List[str]:
+    """Hierarchy/guard locks acquired by one ``with`` statement, in order."""
+    extra = set(extra)
+    out = []
+    for item in stmt.items:
+        attr = self_attr(item.context_expr)
+        if attr is not None and (attr in LOCK_HIERARCHY or attr in extra):
+            out.append(attr)
+    return out
+
+
+class LockTrackingAnalysis(Analysis):
+    """Forward analysis whose environment is the held-lock tuple.
+
+    Subclasses override :meth:`on_acquire` (called before the lock is
+    pushed) and :meth:`on_node` (called with the held set in effect at
+    the node) to implement their checks.
+    """
+
+    #: Additional lock names (beyond LOCK_HIERARCHY) to track, e.g. the
+    #: guard locks referenced by ``# guarded-by:`` markers.
+    extra_locks: Tuple[str, ...] = ()
+
+    def initial(self):
+        return ()
+
+    def transfer(self, node: Node, env, edge: str):
+        held = tuple(env)
+        if node.kind == "with_enter" and isinstance(node.stmt, ast.With):
+            # the with-enter node *evaluates* the context expressions with
+            # the outer lock set, then acquires
+            self.on_node(node, held)
+            for lock in with_locks(node.stmt, self.extra_locks):
+                if edge == "normal":
+                    self.on_acquire(node, lock, held)
+                held = held + (lock,)
+            if edge == "exc":
+                # __enter__ raised: acquisition did not complete
+                return [tuple(env)]
+            return [held]
+        if node.kind == "with_exit" and isinstance(node.stmt, ast.With):
+            locks = with_locks(node.stmt, self.extra_locks)
+            for lock in reversed(locks):
+                if held and held[-1] == lock:
+                    held = held[:-1]
+            return [held]
+        self.on_node(node, held)
+        return [held]
+
+    # -- subclass hooks -------------------------------------------------------
+    def on_acquire(self, node: Node, lock: str, held) -> None:
+        """Called when ``lock`` is acquired while ``held`` are held."""
+
+    def on_node(self, node: Node, held) -> None:
+        """Called once per (node, env) with the held set in effect."""

@@ -5,36 +5,36 @@ Convention: an attribute initialised in ``__init__`` may carry a trailing
     ``self._in_use = 0  # guarded-by: _cond``
 
 comment.  From then on, every read or write of ``self._in_use`` anywhere
-in the class must sit lexically inside a ``with self._cond:`` block
-(LOCK001/LOCK002).  ``__init__`` itself is exempt — construction happens
-before the object is shared.  A method may opt out wholesale with a
-``# lock-ok: <reason>`` marker on its ``def`` line (e.g. a documented
-benign racy read), or per line.
+in the class must happen while ``self._cond`` is held (LOCK001/LOCK002).
+``__init__`` itself is exempt — construction happens before the object is
+shared.  A method may opt out wholesale with a ``# lock-ok: <reason>``
+marker on its ``def`` line (e.g. a documented benign racy read), or per
+line.
 
-Additionally, lexically nested ``with self.<lock>:`` acquisitions must
-follow the global hierarchy declared in :data:`tools.analysis.config
-.LOCK_HIERARCHY` — acquiring an outer-ranked lock while holding an
-inner-ranked one is an ordering inversion (LOCK003) that can deadlock
-against a thread acquiring in the declared order.  Cross-function nesting
-is covered at runtime by :mod:`tools.analysis.watchdog`.
+Additionally, nested ``with self.<lock>:`` acquisitions must follow the
+global hierarchy declared in :data:`tools.analysis.config.LOCK_HIERARCHY`
+— acquiring an outer-ranked lock while holding an inner-ranked one is an
+ordering inversion (LOCK003) that can deadlock against a thread acquiring
+in the declared order.
+
+Both checks run on the dataflow engine's held-lock-set analysis
+(:mod:`tools.analysis.engine.locksets`), so they are path-sensitive: a
+guarded access after an early ``return`` released the lock, or on an
+exception edge that unwound the ``with``, is seen with the lock set that
+is actually in effect there.  Cross-function nesting is covered at
+runtime by :mod:`tools.analysis.watchdog`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set
+from typing import Dict, List
 
 from tools.analysis.base import Checker, Finding, ModuleSource
 from tools.analysis.config import LOCK_EXEMPT_METHODS, LOCK_HIERARCHY
-
-
-def _self_attr(node: ast.AST) -> Optional[str]:
-    """``self.<attr>`` -> attr, else None."""
-    if (isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == "self"):
-        return node.attr
-    return None
+from tools.analysis.engine import Node, iter_scopes, run_analysis, \
+    walk_expressions
+from tools.analysis.engine.locksets import LockTrackingAnalysis, self_attr
 
 
 def _guarded_map(mod: ModuleSource, cls: ast.ClassDef) -> Dict[str, str]:
@@ -48,92 +48,57 @@ def _guarded_map(mod: ModuleSource, cls: ast.ClassDef) -> Dict[str, str]:
             targets = (node.targets if isinstance(node, ast.Assign)
                        else [node.target])
             for target in targets:
-                attr = _self_attr(target)
+                attr = self_attr(target)
                 if attr is not None:
                     guarded[attr] = lock
     return guarded
 
 
-class _MethodVisitor(ast.NodeVisitor):
-    """Walks one method tracking the set of lexically held locks."""
-
-    def __init__(self, checker: "LockDisciplineChecker", mod: ModuleSource,
-                 cls: ast.ClassDef, method: ast.FunctionDef,
-                 guarded: Dict[str, str]):
-        self.checker = checker
-        self.mod = mod
-        self.cls = cls
-        self.method = method
+class _LockAnalysis(LockTrackingAnalysis):
+    def __init__(self, guarded: Dict[str, str], context: str):
+        super().__init__()
         self.guarded = guarded
-        self.held: List[str] = []
-        self.findings: List[Finding] = []
+        self.context = context
+        self.extra_locks = tuple(sorted(set(guarded.values())))
 
-    def _report(self, code: str, line: int, message: str) -> None:
-        f = self.checker.finding(self.mod, code, line, message)
-        if f is not None:
-            self.findings.append(f)
-
-    def visit_With(self, node: ast.With) -> None:
-        acquired = []
-        for item in node.items:
-            attr = _self_attr(item.context_expr)
-            if attr is not None and (attr in LOCK_HIERARCHY
-                                     or attr in self.guarded.values()):
-                self._check_order(attr, item.context_expr.lineno)
-                self.held.append(attr)
-                acquired.append(attr)
-            else:
-                self.visit(item.context_expr)
-        for stmt in node.body:
-            self.visit(stmt)
-        for attr in reversed(acquired):
-            self.held.remove(attr)
-
-    def _check_order(self, attr: str, line: int) -> None:
-        if attr not in LOCK_HIERARCHY:
+    def on_acquire(self, node: Node, lock: str, held) -> None:
+        if lock not in LOCK_HIERARCHY:
             return
-        rank = LOCK_HIERARCHY.index(attr)
-        for held in self.held:
-            if held not in LOCK_HIERARCHY:
+        rank = LOCK_HIERARCHY.index(lock)
+        for other in held:
+            if other not in LOCK_HIERARCHY:
                 continue
-            if LOCK_HIERARCHY.index(held) >= rank:
-                self._report(
-                    "LOCK003", line,
-                    f"acquiring '{attr}' while holding '{held}' inverts "
+            if LOCK_HIERARCHY.index(other) >= rank:
+                self.report(
+                    "LOCK003", node.line,
+                    f"acquiring '{lock}' while holding '{other}' inverts "
                     f"the declared lock hierarchy "
                     f"({' -> '.join(LOCK_HIERARCHY)})",
                 )
 
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        attr = _self_attr(node)
-        if attr is not None and attr in self.guarded:
-            lock = self.guarded[attr]
-            if lock not in self.held:
-                access = ("write" if isinstance(node.ctx, (ast.Store,
-                                                           ast.Del))
+    def on_node(self, node: Node, held) -> None:
+        if not self.guarded:
+            return
+        held_set = set(held)
+        for expr in node.exprs:
+            for sub in walk_expressions(expr, into_lambdas=True):
+                if not isinstance(sub, ast.Attribute):
+                    continue
+                attr = self_attr(sub)
+                if attr is None or attr not in self.guarded:
+                    continue
+                lock = self.guarded[attr]
+                if lock in held_set:
+                    continue
+                access = ("write"
+                          if isinstance(sub.ctx, (ast.Store, ast.Del))
                           else "read")
-                self._report(
+                self.report(
                     "LOCK001" if access == "write" else "LOCK002",
-                    node.lineno,
-                    f"{access} of self.{attr} (guarded by '{lock}') outside "
-                    f"'with self.{lock}:' in {self.cls.name}."
-                    f"{self.method.name}",
+                    sub.lineno,
+                    f"{access} of self.{attr} (guarded by '{lock}') "
+                    f"outside 'with self.{lock}:' in {self.context}",
                 )
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        # nested function: runs later, with no lock lexically held
-        saved, self.held = self.held, []
-        for stmt in node.body:
-            self.visit(stmt)
-        self.held = saved
-
-    visit_AsyncFunctionDef = visit_FunctionDef
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        saved, self.held = self.held, []
-        self.visit(node.body)
-        self.held = saved
 
 
 class LockDisciplineChecker(Checker):
@@ -142,41 +107,19 @@ class LockDisciplineChecker(Checker):
 
     def check(self, mod: ModuleSource) -> List[Finding]:
         findings = list(self.check_waivers(mod))
-        for cls in (n for n in ast.walk(mod.tree)
-                    if isinstance(n, ast.ClassDef)):
-            guarded = _guarded_map(mod, cls)
-            for method in (n for n in cls.body
-                           if isinstance(n, (ast.FunctionDef,
-                                             ast.AsyncFunctionDef))):
-                if method.name in LOCK_EXEMPT_METHODS:
-                    continue
-                if mod.waived(method.lineno, "lock-ok"):
-                    continue
-                visitor = _MethodVisitor(self, mod, cls, method, guarded)
-                for stmt in method.body:
-                    visitor.visit(stmt)
-                findings += visitor.findings
-        # hierarchy inversions can also occur outside classes (e.g. module
-        # level or free functions): check every function not in a class
-        findings += self._free_function_order(mod)
-        return findings
-
-    def _free_function_order(self, mod: ModuleSource) -> List[Finding]:
-        in_class: Set[ast.AST] = set()
-        for cls in (n for n in ast.walk(mod.tree)
-                    if isinstance(n, ast.ClassDef)):
-            for node in ast.walk(cls):
-                in_class.add(node)
-        findings: List[Finding] = []
-        for fn in (n for n in ast.walk(mod.tree)
-                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
-                   and n not in in_class):
-            dummy_cls = ast.ClassDef(
-                name="<module>", bases=[], keywords=[], body=[],
-                decorator_list=[], type_params=[],
-            )
-            visitor = _MethodVisitor(self, mod, dummy_cls, fn, {})
-            for stmt in fn.body:
-                visitor.visit(stmt)
-            findings += visitor.findings
+        for scope in iter_scopes(mod.tree):
+            if scope.is_module:
+                continue
+            fn = scope.node
+            if fn.name in LOCK_EXEMPT_METHODS:
+                continue
+            if mod.waived(fn.lineno, "lock-ok"):
+                continue
+            guarded = (_guarded_map(mod, scope.enclosing_class)
+                       if scope.enclosing_class is not None else {})
+            analysis = _LockAnalysis(guarded, scope.label)
+            for code, line, message in run_analysis(scope.cfg(), analysis):
+                f = self.finding(mod, code, line, message)
+                if f is not None:
+                    findings.append(f)
         return findings

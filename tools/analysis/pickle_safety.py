@@ -1,0 +1,205 @@
+"""pickle-safety: process-backend kernels must survive the pickle boundary.
+
+The process backend (:mod:`repro.runtime.process_backend`) ships each task as
+``(kernel, kernel_args)`` through a :class:`ProcessPoolExecutor`; the pool
+initializer ships ``worker_payload``/``worker_builder`` once per worker.
+Anything that cannot pickle — or pickles into a meaningless per-process
+copy — must never travel that boundary:
+
+* PKL001 — the value passed as ``kernel=``/``worker_builder=`` must be a
+  plain module-level function reference: lambdas and locally defined
+  closures cannot pickle, bound methods (``self.x``) drag the whole
+  coordinator object (tracker, pool, locks) into the pickle, and
+  call results (e.g. ``partial(...)``) hide what is captured;
+* PKL002 — a module-level kernel function must not reach out to
+  module-global state that is process-unsafe (identifier mentions a
+  lock, condition, tracker, executor/pool, slab, future, thread or
+  runtime): under ``fork`` it reads a stale copy, under ``spawn`` it
+  does not exist;
+* PKL003 — ``kernel_args``/``worker_payload`` values must be
+  pickle-clean: passing a lock/tracker/executor/slab/future either
+  raises at submit time or silently forks coordinator state.
+
+Class names (CamelCase) are exempt from the identifier heuristic —
+classes pickle by reference, so shipping ``MemoryTracker`` (the type) is
+fine even though shipping a tracker (an instance) is not.  Waive with
+``# pkl-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, List, Optional, Set
+
+from tools.analysis.base import Checker, Finding, ModuleSource
+from tools.analysis.config import PICKLE_ENTRY_KWARGS, PICKLE_UNSAFE_HINTS
+
+#: Keyword arguments carrying per-task / per-worker pickled *data*.
+_DATA_KWARGS = frozenset({"kernel_args", "worker_payload", "payload"})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def _unsafe_hint(name: str) -> Optional[str]:
+    """The matched unsafe hint for an identifier, or None.
+
+    CamelCase identifiers (class references) are exempt: classes pickle
+    by reference.
+    """
+    if not name or name.lstrip("_")[:1].isupper():
+        return None
+    lowered = name.lower()
+    for hint in PICKLE_UNSAFE_HINTS:
+        if hint in lowered:
+            return hint
+    return None
+
+
+def _local_names(fn: ast.FunctionDef) -> Set[str]:
+    """Names bound inside ``fn``: parameters, assignments, imports, etc."""
+    names: Set[str] = set()
+    args = fn.args
+    for a in (args.posonlyargs + args.args + args.kwonlyargs
+              + ([args.vararg] if args.vararg else [])
+              + ([args.kwarg] if args.kwarg else [])):
+        names.add(a.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)) and node is not fn:
+            names.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names
+
+
+class PickleSafetyChecker(Checker):
+    name = "pickle-safety"
+    waiver = "pkl-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        module_defs: Dict[str, ast.FunctionDef] = {
+            s.name: s for s in mod.tree.body
+            if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        # names a worker process can resolve by importing the module:
+        # functions, classes and imports pickle (or re-import) by reference
+        importable: Set[str] = set(module_defs)
+        for s in mod.tree.body:
+            if isinstance(s, ast.ClassDef):
+                importable.add(s.name)
+            elif isinstance(s, (ast.Import, ast.ImportFrom)):
+                for alias in s.names:
+                    importable.add(alias.asname or alias.name.split(".")[0])
+        nested_defs: Set[str] = {
+            n.name for n in ast.walk(mod.tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and n.name not in module_defs
+        }
+
+        checked_kernels: Set[str] = set()
+        for call in ast.walk(mod.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            for kw in call.keywords:
+                if kw.arg in PICKLE_ENTRY_KWARGS:
+                    self._check_entry(mod, kw, module_defs, nested_defs,
+                                      importable, checked_kernels, findings)
+                elif kw.arg in _DATA_KWARGS:
+                    self._check_data(mod, kw, findings)
+        return findings
+
+    # -- PKL001 / PKL002 ------------------------------------------------------
+    def _check_entry(self, mod, kw, module_defs, nested_defs,
+                     importable, checked_kernels, findings) -> None:
+        value = kw.value
+        line = value.lineno
+
+        def emit(code: str, message: str, at: int = line) -> None:
+            f = self.finding(mod, code, at, message)
+            if f is not None:
+                findings.append(f)
+
+        if isinstance(value, ast.Constant) and value.value is None:
+            return
+        if isinstance(value, ast.Lambda):
+            emit("PKL001",
+                 f"'{kw.arg}=' is a lambda — lambdas cannot pickle; use a "
+                 f"module-level function")
+            return
+        if isinstance(value, ast.Call):
+            emit("PKL001",
+                 f"'{kw.arg}=' is a call result — the captured arguments "
+                 f"are invisible to pickling checks; use a plain "
+                 f"module-level function reference")
+            return
+        if isinstance(value, ast.Attribute):
+            root = value
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id == "self":
+                emit("PKL001",
+                     f"'{kw.arg}=' is a bound method — pickling it drags "
+                     f"the whole coordinator object (tracker, pool, locks) "
+                     f"into the worker; use a module-level function")
+            return  # dotted module.fn references are fine
+        if isinstance(value, ast.Name):
+            if value.id in module_defs:
+                if value.id not in checked_kernels:
+                    checked_kernels.add(value.id)
+                    self._check_kernel_globals(mod, module_defs[value.id],
+                                               importable, findings)
+                return
+            if value.id in nested_defs:
+                emit("PKL001",
+                     f"'{kw.arg}={value.id}' references a nested function "
+                     f"— closures cannot pickle; hoist it to module level")
+            return
+
+    def _check_kernel_globals(self, mod, fn: ast.FunctionDef,
+                              importable: Set[str], findings) -> None:
+        local = _local_names(fn)
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            if (node.id in local or node.id in _BUILTIN_NAMES
+                    or node.id in importable):
+                continue
+            hint = _unsafe_hint(node.id)
+            if hint is None:
+                continue
+            f = self.finding(
+                mod, "PKL002", node.lineno,
+                f"process-executed kernel '{fn.name}' reads module global "
+                f"'{node.id}' (looks like a {hint}) — worker processes see "
+                f"a stale fork copy or nothing at all; pass state through "
+                f"the worker payload instead",
+            )
+            if f is not None:
+                findings.append(f)
+
+    # -- PKL003 ---------------------------------------------------------------
+    def _check_data(self, mod, kw, findings) -> None:
+        for node in ast.walk(kw.value):
+            if not (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            hint = _unsafe_hint(node.id)
+            if hint is None:
+                continue
+            f = self.finding(
+                mod, "PKL003", node.lineno,
+                f"'{kw.arg}=' ships '{node.id}' (looks like a {hint}) "
+                f"across the process boundary — locks/trackers/executors/"
+                f"slabs either fail to pickle or fork into meaningless "
+                f"copies; ship plain data and rebuild state in the worker",
+            )
+            if f is not None:
+                findings.append(f)

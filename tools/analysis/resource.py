@@ -2,11 +2,13 @@
 
 The checker recognises handle-creating calls — ``<tracker>.allocate(...)``,
 ``<tracker>.acquire(...)``, ``<tracker>.track_array(...)`` where the
-receiver mentions a tracker — and follows the handle through the explicit
-control flow of the enclosing function:
+receiver mentions a tracker, arena construction (``FrontArena(...)``) and
+ownership-transferring tuple returns (``take_schur()``) — and follows the
+handle through the control-flow graph of the enclosing scope
+(:mod:`tools.analysis.engine`):
 
 * a discarded handle (bare expression statement) is a leak (RES001);
-* a handle bound to a local must reach ``.free()`` on every explicit path
+* a handle bound to a local must reach ``.free()`` on every path
   (``if``/``else`` branches, early ``return``) or escape — be returned,
   stored into a container/attribute, or passed to another call, all of
   which transfer ownership (RES002);
@@ -17,26 +19,27 @@ control flow of the enclosing function:
 * ``borrow()`` is a context manager; calling it outside ``with`` never
   releases (RES006);
 * calling ``.resize()`` after ``.free()`` on the same path is a
-  use-after-free (RES007).
+  use-after-free (RES007);
+* a handle that is live when an exception escapes the scope leaks on the
+  exception path (RES008) — the flow-sensitive engine models exception
+  edges out of every call, ``raise`` and ``assert``, duplicates
+  ``finally`` suites per continuation, and distinguishes the normal path
+  from the unwind path, so ``try``/``finally`` cleanup is credited
+  exactly where it runs.
 
-Workspace arenas (:data:`tools.analysis.config.ARENA_CONSTRUCTORS`, e.g.
-``FrontArena``) follow the same discipline: the constructor call *is* the
-handle-creating event (the arena owns a tracked allocation), so a
-constructed arena must reach ``.free()`` or escape on every path, and the
-recycling methods ``ensure()``/``frame()``/``reset()`` neither release
-nor transfer ownership — calling them after ``free()`` is a
-use-after-free (RES007).
-
-Exception paths are deliberately out of scope: the trackers are per-run
-objects that die with the run on error, and the paper's accounting only
-concerns successful runs.  The ``with tracker.borrow(...)`` form is always
-safe and preferred for scoped charges.
+RES008 is the contract PR 2's lexical checker could not express: the
+trackers *are* per-run objects, but the process backend recycles tracker
+budget and shared-memory slabs across panels inside one run, so a handle
+leaked on an admission failure is real budget gone for the rest of the
+factorization.  Fix by freeing in an ``except``/``finally`` before the
+exception propagates, or waive with ``# resource-ok: <reason>`` on the
+allocation line when the leak is provably benign.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from tools.analysis.base import (
     Checker,
@@ -47,14 +50,24 @@ from tools.analysis.base import (
 )
 from tools.analysis.config import (
     ALLOC_METHODS,
+    ALLOC_TUPLE_METHODS,
     ARENA_CONSTRUCTORS,
     ARENA_KEEPALIVE_METHODS,
     BORROW_METHOD,
     TRACKER_RECEIVER_HINT,
 )
+from tools.analysis.engine import (Analysis, Node, iter_scopes,
+                                   none_test_name, run_analysis)
 
 LIVE = "live"
 FREED = "freed"
+#: ``free()`` itself raised: the charge is released (tracker frees are
+#: idempotent), but a defensive re-free in the handler is *not* a double
+#: free — it is the correct cleanup pattern.
+FREED_UNWIND = "freed-unwinding"
+#: The handle escaped through a ``return`` still pending unwind: safe on
+#: the normal path, leaked if an exception discards the return value.
+RETURNED = "returned"
 
 
 def _is_tracker_receiver(node: ast.AST) -> bool:
@@ -84,6 +97,17 @@ def alloc_call(node: ast.AST) -> Optional[str]:
     return None
 
 
+def tuple_alloc_call(node: ast.AST) -> Optional[str]:
+    """Ownership-transferring tuple return (``take_schur`` -> (data, alloc))."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ALLOC_TUPLE_METHODS
+    ):
+        return node.func.attr
+    return None
+
+
 def borrow_call(node: ast.AST) -> bool:
     return (
         isinstance(node, ast.Call)
@@ -97,54 +121,96 @@ def _names_in(node: ast.AST) -> Set[str]:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
-class _FunctionAnalysis:
-    """Path-sensitive liveness of handles local to one function body."""
+#: Environment: sorted tuple of (name, status, alloc_line).
+Env = Tuple[Tuple[str, str, int], ...]
 
-    def __init__(self, checker: "ResourceDisciplineChecker",
-                 mod: ModuleSource, label: str):
-        self.checker = checker
-        self.mod = mod
+
+def _to_env(state: Dict[str, Tuple[str, int]]) -> Env:
+    return tuple(sorted(
+        (name, status, line) for name, (status, line) in state.items()
+    ))
+
+
+def _to_state(env: Env) -> Dict[str, Tuple[str, int]]:
+    return {name: (status, line) for name, status, line in env}
+
+
+class _ResourceAnalysis(Analysis):
+    """Handle liveness over one scope's CFG (path- and exception-sensitive)."""
+
+    def __init__(self, label: str, is_method: bool):
+        super().__init__()
         self.label = label
-        self.findings: List[Finding] = []
-        self._reported: Set[Tuple[str, int, str]] = set()
+        self.is_method = is_method
+        #: self.<attr> allocations seen in this scope: attr -> line.
+        self.self_allocs: Dict[str, int] = {}
 
-    # -- reporting ------------------------------------------------------------
-    def _report(self, code: str, line: int, message: str) -> None:
-        key = (code, line, message)
-        if key in self._reported:
-            return
-        self._reported.add(key)
-        f = self.checker.finding(self.mod, code, line, message)
-        if f is not None:
-            self.findings.append(f)
+    # -- dataflow interface ---------------------------------------------------
+    def initial(self) -> Env:
+        return ()
 
-    # -- entry point ----------------------------------------------------------
-    def run(self, body: List[ast.stmt], end_line: int) -> None:
-        states = self._block(body, [{}])
-        for state in states:
-            self._leak_check(state, end_line, "at end of " + self.label)
-
-    def _leak_check(self, state: Dict[str, Tuple[str, int]], line: int,
-                    where: str) -> None:
-        for name, (status, alloc_line) in sorted(state.items()):
+    def at_exit(self, env: Env) -> None:
+        for name, status, line in env:
             if status == LIVE:
-                self._report(
-                    "RES002", alloc_line,
+                self.report(
+                    "RES002", line,
                     f"handle '{name}' allocated here is never freed "
-                    f"{where} (free it on every path, or use "
-                    f"'with tracker.borrow(...)')",
+                    f"on a path reaching the end of {self.label} (free it "
+                    f"on every path, or use 'with tracker.borrow(...)')",
                 )
 
-    # -- interpreter ----------------------------------------------------------
-    def _block(self, stmts: List[ast.stmt],
-               states: List[Dict[str, Tuple[str, int]]]
-               ) -> List[Dict[str, Tuple[str, int]]]:
-        for stmt in stmts:
-            states = self._stmt(stmt, states)
-            if not states:
-                break
-        return states
+    def at_raise_exit(self, env: Env) -> None:
+        for name, status, line in env:
+            if status in (LIVE, RETURNED):
+                self.report(
+                    "RES008", line,
+                    f"handle '{name}' allocated here leaks when an "
+                    f"exception escapes {self.label} — free it in an "
+                    f"'except'/'finally' before the exception propagates",
+                )
 
+    def transfer(self, node: Node, env: Env, edge: str) -> Iterable[Env]:
+        state = _to_state(env)
+        stmt = node.stmt
+        if node.kind == "assume":
+            # a tracked handle is definitely not None: prune the branch
+            # arm that asserts it is (`if alloc is not None: alloc.free()`
+            # cleanup would otherwise look skippable)
+            decomposed = none_test_name(stmt) if stmt is not None else None
+            if decomposed is not None:
+                name, none_when_true = decomposed
+                if name in state:
+                    infeasible = (none_when_true == (node.meta == "then"))
+                    if infeasible:
+                        return []
+            return [env]
+        if node.kind == "stmt" and isinstance(stmt, (ast.Assign,
+                                                     ast.AnnAssign,
+                                                     ast.AugAssign)):
+            self._assign(stmt, state, edge)
+        elif node.kind == "stmt" and isinstance(stmt, ast.Expr):
+            self._expr(stmt, state, edge)
+        elif node.kind == "with_enter" and isinstance(stmt, ast.With):
+            self._with_enter(stmt, state, edge)
+        elif node.kind == "return":
+            value = stmt.value if isinstance(stmt, ast.Return) else None
+            if value is not None:
+                for name in _names_in(value) & set(state):
+                    status, line = state[name]
+                    if status == LIVE:
+                        state[name] = (RETURNED, line)
+        elif node.kind == "raise":
+            for expr in node.exprs:
+                self._escape(state, expr)
+        elif node.kind in ("branch", "loop", "handler", "with_exit", "join",
+                          "dispatch", "entry"):
+            pass  # tests/iterators do not consume ownership
+        elif node.kind == "stmt" and stmt is not None:
+            # default: any handle mentioned escapes (conservative)
+            self._escape(state, stmt)
+        return [_to_env(state)]
+
+    # -- transfer helpers -----------------------------------------------------
     def _escape(self, state: Dict, node: ast.AST,
                 keep: Set[str] = frozenset()) -> None:
         """Ownership transfer: stop tracking names mentioned in ``node``."""
@@ -152,287 +218,195 @@ class _FunctionAnalysis:
             if name in state and name not in keep:
                 del state[name]
 
-    def _stmt(self, stmt: ast.stmt, states: List[Dict]) -> List[Dict]:
-        handler = getattr(self, "_stmt_" + type(stmt).__name__, None)
-        if handler is not None:
-            return handler(stmt, states)
-        # default: escape any handle mentioned (conservative), keep path
-        for state in states:
-            self._escape(state, stmt)
-        return states
-
-    # each _stmt_* consumes a list of states and returns surviving states
-
-    def _stmt_Assign(self, stmt: ast.Assign, states: List[Dict]) -> List[Dict]:
-        method = alloc_call(stmt.value)
-        if method is None and borrow_call(stmt.value):
-            self._report(
-                "RES006", stmt.lineno,
-                "borrow() is a context manager; assigning it never "
-                "releases the charge — use 'with tracker.borrow(...)'",
-            )
-            return states
-        if method is not None and len(stmt.targets) == 1:
-            target = stmt.targets[0]
+    def _assign(self, stmt, state: Dict, edge: str) -> None:
+        value = stmt.value
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        if value is None:  # bare annotation
+            return
+        method = alloc_call(value)
+        if method is None and borrow_call(value):
+            if edge == "normal":
+                self.report(
+                    "RES006", stmt.lineno,
+                    "borrow() is a context manager; assigning it never "
+                    "releases the charge — use 'with tracker.borrow(...)'",
+                )
+            return
+        if method is not None and len(targets) == 1:
+            target = targets[0]
+            if edge == "exc":
+                return  # the allocating call itself raised: no handle
             if isinstance(target, ast.Name):
-                for state in states:
-                    prev = state.get(target.id)
-                    if prev is not None and prev[0] == LIVE:
-                        self._report(
-                            "RES004", stmt.lineno,
-                            f"rebinding '{target.id}' loses the live handle "
-                            f"allocated at line {prev[1]}",
-                        )
-                    state[target.id] = (LIVE, stmt.lineno)
-                return states
+                prev = state.get(target.id)
+                if prev is not None and prev[0] == LIVE:
+                    self.report(
+                        "RES004", stmt.lineno,
+                        f"rebinding '{target.id}' loses the live handle "
+                        f"allocated at line {prev[1]}",
+                    )
+                state[target.id] = (LIVE, stmt.lineno)
+                return
             if (isinstance(target, ast.Attribute)
                     and isinstance(target.value, ast.Name)
                     and target.value.id == "self"):
-                self.checker.note_self_attr_alloc(
-                    self.mod, target.attr, stmt.lineno
-                )
-                return states
+                self.self_allocs.setdefault(target.attr, stmt.lineno)
+                return
             # other targets (containers, foreign attributes): ownership
             # escapes to the target
-            return states
+            return
+        if tuple_alloc_call(value) is not None and len(targets) == 1:
+            # ``data, alloc = x.take_schur()``: the trailing element is
+            # the transferred handle
+            if edge == "exc":
+                return
+            target = targets[0]
+            if (isinstance(target, (ast.Tuple, ast.List)) and target.elts
+                    and isinstance(target.elts[-1], ast.Name)):
+                handle = target.elts[-1].id
+                prev = state.get(handle)
+                if prev is not None and prev[0] == LIVE:
+                    self.report(
+                        "RES004", stmt.lineno,
+                        f"rebinding '{handle}' loses the live handle "
+                        f"allocated at line {prev[1]}",
+                    )
+                state[handle] = (LIVE, stmt.lineno)
+            return
         # a keepalive-method result (``view = arena.frame(...)``) borrows
         # from the arena without transferring ownership: check for use
         # after free, keep tracking the arena itself
         keep: Set[str] = set()
-        value = stmt.value
         if (isinstance(value, ast.Call)
                 and isinstance(value.func, ast.Attribute)
                 and value.func.attr in ARENA_KEEPALIVE_METHODS
                 and isinstance(value.func.value, ast.Name)):
             owner = value.func.value.id
             keep.add(owner)
-            for state in states:
-                prev = state.get(owner)
-                if prev is not None and prev[0] == FREED:
-                    self._report(
-                        "RES007", stmt.lineno,
-                        f"{value.func.attr}() on '{owner}' after "
-                        f"free() — use after free",
-                    )
+            prev = state.get(owner)
+            if (prev is not None and prev[0] in (FREED, FREED_UNWIND)
+                    and edge == "normal"):
+                self.report(
+                    "RES007", stmt.lineno,
+                    f"{value.func.attr}() on '{owner}' after "
+                    f"free() — use after free",
+                )
         # non-allocating assignment: rebinding a live handle loses it;
         # handles mentioned on the RHS escape into the new binding
-        for state in states:
-            for target in stmt.targets:
+        if edge == "normal":
+            for target in targets:
                 if isinstance(target, ast.Name):
                     prev = state.get(target.id)
                     if prev is not None and prev[0] == LIVE:
-                        self._report(
+                        self.report(
                             "RES004", stmt.lineno,
                             f"rebinding '{target.id}' loses the live handle "
                             f"allocated at line {prev[1]}",
                         )
                     state.pop(target.id, None)
-            self._escape(state, stmt.value, keep=keep)
-        return states
+        self._escape(state, value, keep=keep)
 
-    def _stmt_AnnAssign(self, stmt: ast.AnnAssign,
-                        states: List[Dict]) -> List[Dict]:
-        if stmt.value is None:
-            return states
-        proxy = ast.Assign(targets=[stmt.target], value=stmt.value)
-        ast.copy_location(proxy, stmt)
-        return self._stmt_Assign(proxy, states)
-
-    def _stmt_Expr(self, stmt: ast.Expr, states: List[Dict]) -> List[Dict]:
+    def _expr(self, stmt: ast.Expr, state: Dict, edge: str) -> None:
         value = stmt.value
-        if alloc_call(value) is not None:
-            self._report(
-                "RES001", stmt.lineno,
-                "allocation handle is discarded — the charge can never be "
-                "released",
-            )
-            return states
+        if alloc_call(value) is not None or tuple_alloc_call(value):
+            if edge == "normal":
+                self.report(
+                    "RES001", stmt.lineno,
+                    "allocation handle is discarded — the charge can never "
+                    "be released",
+                )
+            return
         if borrow_call(value):
-            self._report(
-                "RES006", stmt.lineno,
-                "borrow() outside 'with' never releases the charge",
-            )
-            return states
+            if edge == "normal":
+                self.report(
+                    "RES006", stmt.lineno,
+                    "borrow() outside 'with' never releases the charge",
+                )
+            return
         if (isinstance(value, ast.Call)
                 and isinstance(value.func, ast.Attribute)
                 and isinstance(value.func.value, ast.Name)):
             owner = value.func.value.id
             if value.func.attr == "free":
-                for state in states:
-                    prev = state.get(owner)
-                    if prev is None:
-                        continue
+                prev = state.get(owner)
+                if prev is not None:
                     if prev[0] == FREED:
-                        self._report(
-                            "RES003", stmt.lineno,
-                            f"'{owner}' (allocated at line {prev[1]}) is "
-                            f"already freed on this path — double free",
-                        )
+                        if edge == "normal":
+                            self.report(
+                                "RES003", stmt.lineno,
+                                f"'{owner}' (allocated at line {prev[1]}) is "
+                                f"already freed on this path — double free",
+                            )
                     else:
-                        state[owner] = (FREED, prev[1])
-                return states
+                        # the free is credited on the exception edge too
+                        # (but as FREED_UNWIND: a handler re-freeing after
+                        # a free that raised mid-release is defensive, not
+                        # a double free)
+                        state[owner] = (
+                            FREED if edge == "normal" else FREED_UNWIND,
+                            prev[1],
+                        )
+                return
             if (value.func.attr == "resize"
                     or value.func.attr in ARENA_KEEPALIVE_METHODS):
-                for state in states:
-                    prev = state.get(owner)
-                    if prev is not None and prev[0] == FREED:
-                        self._report(
-                            "RES007", stmt.lineno,
-                            f"{value.func.attr}() on '{owner}' after "
-                            f"free() — use after free",
-                        )
-                    # resize/ensure/frame/reset recycle the workspace
-                    # without releasing it: the handle stays live and
-                    # ownership does not transfer
-                return states
-        for state in states:
-            self._escape(state, value)
-        return states
+                prev = state.get(owner)
+                if (prev is not None and prev[0] in (FREED, FREED_UNWIND)
+                        and edge == "normal"):
+                    self.report(
+                        "RES007", stmt.lineno,
+                        f"{value.func.attr}() on '{owner}' after "
+                        f"free() — use after free",
+                    )
+                # resize/ensure/frame/reset recycle the workspace without
+                # releasing it: the handle stays live, no transfer
+                return
+        self._escape(state, value)
 
-    def _stmt_Return(self, stmt: ast.Return, states: List[Dict]) -> List[Dict]:
-        for state in states:
-            if stmt.value is not None:
-                self._escape(state, stmt.value)
-            self._leak_check(state, stmt.lineno,
-                             f"before the return at line {stmt.lineno}")
-        return []
-
-    def _stmt_Raise(self, stmt: ast.Raise, states: List[Dict]) -> List[Dict]:
-        # exception paths are out of scope (see module docstring)
-        return []
-
-    def _stmt_If(self, stmt: ast.If, states: List[Dict]) -> List[Dict]:
-        import copy
-
-        body_states = self._block(stmt.body, copy.deepcopy(states))
-        else_states = self._block(stmt.orelse, copy.deepcopy(states))
-        return body_states + else_states
-
-    def _loop(self, stmt, states: List[Dict]) -> List[Dict]:
-        import copy
-
-        once = self._block(stmt.body, copy.deepcopy(states))
-        if stmt.orelse:
-            once = self._block(stmt.orelse, once)
-            states = self._block(stmt.orelse, states)
-        return states + once
-
-    _stmt_For = _loop
-    _stmt_While = _loop
-
-    def _stmt_With(self, stmt: ast.With, states: List[Dict]) -> List[Dict]:
+    def _with_enter(self, stmt: ast.With, state: Dict, edge: str) -> None:
         for item in stmt.items:
-            if alloc_call(item.context_expr) is not None:
-                self._report(
+            if alloc_call(item.context_expr) is not None and edge == "normal":
+                self.report(
                     "RES001", stmt.lineno,
                     "allocate()/acquire() handles are not context managers; "
                     "use 'with tracker.borrow(...)' for scoped charges",
                 )
-            for state in states:
-                self._escape(state, item.context_expr)
-        return self._block(stmt.body, states)
-
-    def _stmt_Try(self, stmt: ast.Try, states: List[Dict]) -> List[Dict]:
-        import copy
-
-        entry = copy.deepcopy(states)
-        body_states = self._block(stmt.body, states)
-        if stmt.orelse:
-            body_states = self._block(stmt.orelse, body_states)
-        handler_states: List[Dict] = []
-        for handler in stmt.handlers:
-            handler_states += self._block(handler.body, copy.deepcopy(entry))
-        merged = body_states + handler_states
-        if stmt.finalbody:
-            merged = self._block(stmt.finalbody, merged)
-        return merged
-
-    def _stmt_Break(self, stmt, states):
-        return []
-
-    def _stmt_Continue(self, stmt, states):
-        return []
-
-    def _stmt_Pass(self, stmt, states):
-        return states
-
-    def _stmt_Delete(self, stmt: ast.Delete, states: List[Dict]) -> List[Dict]:
-        for state in states:
-            self._escape(state, stmt)
-        return states
-
-    def _stmt_FunctionDef(self, stmt, states):
-        # nested functions are analysed as their own scope
-        return states
-
-    _stmt_AsyncFunctionDef = _stmt_FunctionDef
-    _stmt_ClassDef = _stmt_FunctionDef
-    _stmt_Import = _stmt_Pass
-    _stmt_ImportFrom = _stmt_Pass
-    _stmt_Global = _stmt_Pass
-    _stmt_Nonlocal = _stmt_Pass
+            self._escape(state, item.context_expr)
 
 
 class ResourceDisciplineChecker(Checker):
     name = "resource-discipline"
     waiver = "resource-ok"
 
-    def __init__(self) -> None:
-        # (class qualifier) -> attr -> alloc line, rebuilt per module
-        self._self_allocs: Dict[str, int] = {}
-        self._current_mod: Optional[ModuleSource] = None
-
-    def note_self_attr_alloc(self, mod: ModuleSource, attr: str,
-                             line: int) -> None:
-        self._self_allocs.setdefault(attr, line)
-
     def check(self, mod: ModuleSource) -> List[Finding]:
         findings = list(self.check_waivers(mod))
-        self._current_mod = mod
+        # class -> {attr: alloc line} for the RES005 pairing check
+        class_allocs: Dict[ast.ClassDef, Dict[str, int]] = {}
 
-        # analyse the module body and every function, each as its own scope
-        for scope, label, body, end in self._scopes(mod.tree):
-            self._self_allocs = {}
-            analysis = _FunctionAnalysis(self, mod, label)
-            analysis.run(body, end)
-            findings += analysis.findings
-            if self._self_allocs and scope is not None:
-                cls = self._enclosing_class(mod.tree, scope)
-                freed = self._class_freed_attrs(cls) if cls else set()
-                for attr, line in sorted(self._self_allocs.items()):
-                    if attr not in freed:
-                        f = self.finding(
-                            mod, "RES005", line,
-                            f"allocation stored on self.{attr} has no "
-                            f"matching self.{attr}.free() anywhere in "
-                            f"class {cls.name if cls else '<module>'}",
-                        )
-                        if f is not None:
-                            findings.append(f)
+        for scope in iter_scopes(mod.tree):
+            analysis = _ResourceAnalysis(scope.label,
+                                         scope.enclosing_class is not None)
+            for code, line, message in run_analysis(scope.cfg(), analysis):
+                f = self.finding(mod, code, line, message)
+                if f is not None:
+                    findings.append(f)
+            if analysis.self_allocs and scope.enclosing_class is not None:
+                dest = class_allocs.setdefault(scope.enclosing_class, {})
+                for attr, line in analysis.self_allocs.items():
+                    dest.setdefault(attr, line)
+
+        for cls, allocs in class_allocs.items():
+            freed = self._class_freed_attrs(cls)
+            for attr, line in sorted(allocs.items()):
+                if attr not in freed:
+                    f = self.finding(
+                        mod, "RES005", line,
+                        f"allocation stored on self.{attr} has no "
+                        f"matching self.{attr}.free() anywhere in "
+                        f"class {cls.name}",
+                    )
+                    if f is not None:
+                        findings.append(f)
         return findings
-
-    # -- helpers --------------------------------------------------------------
-    def _scopes(self, tree: ast.Module):
-        end = max((getattr(s, "end_lineno", s.lineno) for s in tree.body),
-                  default=1)
-        yield None, "module body", [
-            s for s in tree.body
-            if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef))
-        ], end
-        for node in ast.walk(tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node, f"function {node.name}", node.body, \
-                    getattr(node, "end_lineno", node.lineno)
-
-    def _enclosing_class(self, tree: ast.Module,
-                         func: ast.AST) -> Optional[ast.ClassDef]:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.ClassDef):
-                for child in ast.walk(node):
-                    if child is func:
-                        return node
-        return None
 
     def _class_freed_attrs(self, cls: ast.ClassDef) -> Set[str]:
         freed = set()

@@ -1,0 +1,221 @@
+"""slab-lifecycle: shared-memory slabs must return to their pool.
+
+The process backend's result path runs through a coordinator-owned pool
+of :class:`multiprocessing.shared_memory.SharedMemory` slabs.  A slab
+checked out at submit time (``self._slabs.acquire()``) must be released
+back (``self._slabs.release(name)``) on *every* path — including the
+exception path — or the pool runs dry and admission livelocks; a raw
+``SharedMemory(...)`` handle must reach ``close()``/``unlink()`` or the
+OS segment outlives the process.  The checker mirrors the
+resource-discipline rules on the dataflow engine:
+
+* SLB001 — a checked-out slab is not returned on a path reaching the
+  end of the scope (or the checkout result is discarded outright);
+* SLB002 — a checked-out slab leaks when an exception escapes the scope;
+* SLB003 — a slab is released twice on one path (the free-list would
+  hand the same slot to two outstanding tasks — silent result
+  corruption, the worst failure mode of the backend).
+
+Passing the slab name onward (storing it in the pending deque, returning
+it, shipping it to a worker) transfers the obligation to the consumer.
+Waive with ``# slb-ok: <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from tools.analysis.base import (
+    Checker,
+    Finding,
+    ModuleSource,
+    attribute_chain,
+    receiver_root,
+)
+from tools.analysis.config import (
+    SHM_CONSTRUCTORS,
+    SHM_RELEASE_METHODS,
+    SLAB_CHECKOUT_METHODS,
+    SLAB_RECEIVER_HINTS,
+    SLAB_RETURN_METHODS,
+)
+from tools.analysis.engine import (Analysis, Node, iter_scopes,
+                                   none_test_name, run_analysis)
+
+OUT = "out"
+BACK = "back"
+RETURNED = "returned"
+
+
+def _is_slab_receiver(node: ast.AST) -> bool:
+    chain = attribute_chain(node)
+    root = receiver_root(node)
+    parts = chain[:-1] + ([root] if root else [])
+    return any(
+        hint in p.lower() for p in parts if p for hint in SLAB_RECEIVER_HINTS
+    )
+
+
+def checkout_call(node: ast.AST) -> bool:
+    """``<slabpool>.acquire()`` / ``SharedMemory(...)`` -> a held slab."""
+    if (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in SLAB_CHECKOUT_METHODS
+            and _is_slab_receiver(node.func)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in SHM_CONSTRUCTORS:
+            return True
+        if (isinstance(func, ast.Attribute)
+                and func.attr in SHM_CONSTRUCTORS):
+            return True
+    return False
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _SlabAnalysis(Analysis):
+    """Checked-out-slab liveness over one scope's CFG."""
+
+    def __init__(self, label: str):
+        super().__init__()
+        self.label = label
+
+    def initial(self):
+        return ()
+
+    def at_exit(self, env) -> None:
+        for name, status, line in env:
+            if status == OUT:
+                self.report(
+                    "SLB001", line,
+                    f"slab '{name}' checked out here is not returned on a "
+                    f"path reaching the end of {self.label} — release it "
+                    f"back to the pool on every path",
+                )
+
+    def at_raise_exit(self, env) -> None:
+        for name, status, line in env:
+            if status in (OUT, RETURNED):
+                self.report(
+                    "SLB002", line,
+                    f"slab '{name}' checked out here leaks when an "
+                    f"exception escapes {self.label} — the pool runs dry; "
+                    f"release it in an 'except'/'finally'",
+                )
+
+    def transfer(self, node: Node, env, edge: str) -> Iterable:
+        state: Dict[str, Tuple[str, int]] = {
+            name: (status, line) for name, status, line in env
+        }
+        stmt = node.stmt
+        if node.kind == "assume":
+            decomposed = none_test_name(stmt) if stmt is not None else None
+            if decomposed is not None:
+                name, none_when_true = decomposed
+                if name in state and none_when_true == (node.meta == "then"):
+                    return []  # a tracked slab name is not None
+            return [env]
+        if node.kind == "stmt" and isinstance(stmt, ast.Assign):
+            self._assign(stmt, state, edge)
+        elif node.kind == "stmt" and isinstance(stmt, ast.Expr):
+            self._expr(stmt, state, edge)
+        elif node.kind in ("return", "raise"):
+            for expr in node.exprs:
+                for name in _names_in(expr) & set(state):
+                    status, line = state[name]
+                    if node.kind == "return" and status == OUT:
+                        state[name] = (RETURNED, line)
+                    else:
+                        del state[name]
+        elif node.kind == "with_enter" and isinstance(stmt, ast.With):
+            for item in stmt.items:
+                for name in _names_in(item.context_expr) & set(state):
+                    del state[name]
+        elif node.kind == "stmt" and stmt is not None:
+            for name in _names_in(stmt) & set(state):
+                del state[name]
+        return [tuple(sorted(
+            (name, status, line) for name, (status, line) in state.items()
+        ))]
+
+    def _assign(self, stmt: ast.Assign, state, edge: str) -> None:
+        if (checkout_call(stmt.value) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            if edge == "normal":
+                # rebinding a still-out slab loses the only reference
+                prev = state.get(stmt.targets[0].id)
+                if prev is not None and prev[0] == OUT:
+                    self.report(
+                        "SLB001", prev[1],
+                        f"slab '{stmt.targets[0].id}' checked out here is "
+                        f"not returned on a path reaching the end of "
+                        f"{self.label} — release it back to the pool on "
+                        f"every path",
+                    )
+                state[stmt.targets[0].id] = (OUT, stmt.lineno)
+            return
+        for name in _names_in(stmt.value) & set(state):
+            del state[name]  # stored/handed off: obligation transfers
+        if edge == "normal":
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+
+    def _expr(self, stmt: ast.Expr, state, edge: str) -> None:
+        value = stmt.value
+        if checkout_call(value):
+            if edge == "normal":
+                self.report(
+                    "SLB001", stmt.lineno,
+                    "slab checkout result is discarded — the slot can "
+                    "never return to the pool",
+                )
+            return
+        if isinstance(value, ast.Call) and isinstance(value.func,
+                                                      ast.Attribute):
+            # pool.release(name) settles the obligation for `name`
+            if (value.func.attr in SLAB_RETURN_METHODS
+                    and _is_slab_receiver(value.func)):
+                for arg in value.args:
+                    for name in _names_in(arg) & set(state):
+                        status, line = state[name]
+                        if status == BACK:
+                            if edge == "normal":
+                                self.report(
+                                    "SLB003", stmt.lineno,
+                                    f"slab '{name}' is already back in the "
+                                    f"pool on this path — double release "
+                                    f"hands one slot to two tasks",
+                                )
+                        else:
+                            state[name] = (BACK, line)
+                return
+            # shm.close() / shm.unlink() settles a raw handle
+            if (value.func.attr in SHM_RELEASE_METHODS
+                    and isinstance(value.func.value, ast.Name)
+                    and value.func.value.id in state):
+                name = value.func.value.id
+                state[name] = (BACK, state[name][1])
+                return
+        for name in _names_in(value) & set(state):
+            del state[name]
+
+
+class SlabLifecycleChecker(Checker):
+    name = "slab-lifecycle"
+    waiver = "slb-ok"
+
+    def check(self, mod: ModuleSource) -> List[Finding]:
+        findings = list(self.check_waivers(mod))
+        for scope in iter_scopes(mod.tree):
+            analysis = _SlabAnalysis(scope.label)
+            for code, line, message in run_analysis(scope.cfg(), analysis):
+                f = self.finding(mod, code, line, message)
+                if f is not None:
+                    findings.append(f)
+        return findings
