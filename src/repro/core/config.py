@@ -119,6 +119,34 @@ class SolverConfig:
     #: force-flushed mid-stream (bounds the factor storage and keeps the
     #: eventual QR+SVD from going superlinear).
     axpy_max_accumulated_rank: int = 128
+    #: Maximum live :class:`repro.core.factorized.CoupledFactorization`
+    #: entries the serving layer's factor cache keeps (LRU beyond this).
+    serve_cache_entries: int = 4
+    #: Byte budget of the factor cache: each cached entry charges its
+    #: ``peak_bytes`` against the server's dedicated ``MemoryTracker``
+    #: under the ``factor_cache`` category; a miss that does not admit
+    #: evicts LRU entries until it does.  ``None`` = unlimited.
+    serve_cache_budget: Optional[int] = None
+    #: Coalesce concurrent solve requests with the same system
+    #: fingerprint/dtype into blocked RHS panels (the serving tentpole).
+    #: ``None`` = ``$REPRO_SERVE_BATCHING`` if set, else True.  Off, each
+    #: request dispatches alone — bytes then match a direct
+    #: ``solve_coupled`` exactly (coalesced panels change the BLAS sweep
+    #: shape, so batched results agree within the solver tolerance
+    #: instead; see ``docs/serving.md``).
+    serve_batching: Optional[bool] = None
+    #: Linger window (milliseconds) a batch stays open for co-arriving
+    #: requests before dispatch.  0 dispatches immediately (batches still
+    #: form under backpressure while the executor is busy).
+    serve_batch_linger_ms: float = 2.0
+    #: Column budget per dispatched batch.  ``None`` = the blocked-sweep
+    #: panel width (:data:`repro.sparse.multifrontal.DEFAULT_RHS_PANEL`),
+    #: so one batch is exactly one cache-resident sweep.
+    serve_max_batch_cols: Optional[int] = None
+    #: Worker threads of the server's solve/factorize executor.  2 keeps
+    #: one factorization build from stalling batched solves of cached
+    #: entries.
+    serve_executor_threads: int = 2
 
     def __post_init__(self):
         if self.dense_backend not in _DENSE_BACKENDS:
@@ -163,6 +191,23 @@ class SolverConfig:
             raise ConfigurationError(
                 "axpy_max_accumulated_rank must be >= 1"
             )
+        if self.serve_cache_entries < 1:
+            raise ConfigurationError("serve_cache_entries must be >= 1")
+        if self.serve_cache_budget is not None and self.serve_cache_budget <= 0:
+            raise ConfigurationError(
+                "serve_cache_budget must be positive or None"
+            )
+        if self.serve_batch_linger_ms < 0:
+            raise ConfigurationError(
+                "serve_batch_linger_ms must be non-negative"
+            )
+        if (self.serve_max_batch_cols is not None
+                and self.serve_max_batch_cols < 1):
+            raise ConfigurationError(
+                "serve_max_batch_cols must be >= 1 or None"
+            )
+        if self.serve_executor_threads < 1:
+            raise ConfigurationError("serve_executor_threads must be >= 1")
 
     @property
     def effective_n_workers(self) -> int:
@@ -194,6 +239,23 @@ class SolverConfig:
         from repro.hmatrix.rk import resolve_axpy_accumulate
 
         return resolve_axpy_accumulate(self.axpy_accumulate)
+
+    @property
+    def effective_serve_batching(self) -> bool:
+        """Resolved RHS-batching switch: ``serve_batching``,
+        ``$REPRO_SERVE_BATCHING``, or True."""
+        from repro.serving.batcher import resolve_serve_batching
+
+        return resolve_serve_batching(self.serve_batching)
+
+    @property
+    def effective_serve_max_batch_cols(self) -> int:
+        """Resolved batch column budget (default: the blocked-sweep panel)."""
+        if self.serve_max_batch_cols is not None:
+            return int(self.serve_max_batch_cols)
+        from repro.sparse.multifrontal import DEFAULT_RHS_PANEL
+
+        return DEFAULT_RHS_PANEL
 
     @property
     def hierarchical_tol(self) -> float:

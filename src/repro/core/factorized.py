@@ -23,6 +23,7 @@ Example
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -41,7 +42,7 @@ from repro.core.multi_solve import (
 from repro.core.result import SolveStats
 from repro.core.schur_tools import _coupled_solve
 from repro.fembem.cases import CoupledProblem
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, FactorizationFreed
 
 _ASSEMBLERS = {
     "baseline": (make_baseline_context, assemble_baseline),
@@ -89,10 +90,39 @@ class CoupledFactorization:
         self._mf, self._container, self._sparse_factor_bytes = assemble(
             self._ctx
         )
-        self._freed = False
-        self.n_solves = 0
+        # concurrent-solve state machine: solves register themselves so a
+        # racing free() (a cache eviction) defers the actual resource
+        # release until the last in-flight solve drains — a solve either
+        # completes against live factors or raises FactorizationFreed,
+        # never reads freed state or double-releases tracker charges
+        self._fact_lock = threading.Lock()
+        self._freed = False  # guarded-by: _fact_lock
+        self._free_pending = False  # guarded-by: _fact_lock
+        self._active_solves = 0  # guarded-by: _fact_lock
+        self.n_solves = 0  # guarded-by: _fact_lock
 
     # -- solving --------------------------------------------------------------
+    def _begin_solve(self) -> None:
+        """Register an in-flight solve; raise if the handle was freed."""
+        with self._fact_lock:
+            if self._freed:
+                raise FactorizationFreed(
+                    f"factorization of {self.problem.name!r} "
+                    f"({self.algorithm}) has been freed"
+                )
+            self._active_solves += 1
+
+    def _end_solve(self) -> None:
+        """Deregister a solve; perform a deferred free when it was the last."""
+        with self._fact_lock:
+            self._active_solves -= 1
+            release = self._free_pending and self._active_solves == 0
+            if release:
+                self._free_pending = False
+            self.n_solves += 1
+        if release:
+            self._release_resources()
+
     def solve(
         self,
         b_v: np.ndarray,
@@ -103,9 +133,24 @@ class CoupledFactorization:
 
         Accepts vectors or matrices of stacked load-case columns; returns
         ``(x_v, x_s)`` with matching shapes.
+
+        Thread-safe: concurrent calls are allowed (the factors are
+        immutable after assembly and the per-solve workspaces are local),
+        and a call racing :meth:`free` either completes against live
+        factors or raises :class:`~repro.utils.FactorizationFreed`.
         """
-        if self._freed:
-            raise RuntimeError("factorization has been freed")
+        self._begin_solve()
+        try:
+            return self._solve_impl(b_v, b_s, refinement_steps)
+        finally:
+            self._end_solve()
+
+    def _solve_impl(
+        self,
+        b_v: np.ndarray,
+        b_s: np.ndarray,
+        refinement_steps: Optional[int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
         b_v = np.asarray(b_v)
         b_s = np.asarray(b_s)
         if b_v.shape[0] != self.problem.n_fem:
@@ -131,7 +176,6 @@ class CoupledFactorization:
                                       r_v, r_s)
             x_v = x_v + d_v
             x_s = x_s + d_s
-        self.n_solves += 1
         return x_v, x_s
 
     # -- inspection -----------------------------------------------------------
@@ -144,14 +188,50 @@ class CoupledFactorization:
 
     @property
     def peak_bytes(self) -> int:
+        """Logical peak of this factorization's own tracker.
+
+        The serving layer's :class:`repro.serving.FactorCache` charges
+        this against its budget — the peak (not the resident factor
+        bytes) is what a rebuild of the entry would need, so admission
+        decisions stay truthful.
+        """
         return self._ctx.tracker.peak
 
+    @property
+    def stored_bytes(self) -> int:
+        """Resident factor bytes (sparse factors + Schur container)."""
+        return int(self._container.stored_bytes) + int(
+            self._sparse_factor_bytes
+        )
+
+    @property
+    def freed(self) -> bool:
+        """True once :meth:`free` ran (new solves will raise)."""
+        with self._fact_lock:
+            return self._freed
+
     def free(self) -> None:
-        """Release both factorizations."""
-        if not self._freed:
+        """Release both factorizations.  Idempotent and solve-safe.
+
+        Marks the handle freed immediately (subsequent :meth:`solve`
+        calls raise :class:`~repro.utils.FactorizationFreed`); the actual
+        resource release is deferred to the last in-flight solve when any
+        are active, so a solve racing an eviction never reads freed
+        factors and the tracker charges are released exactly once.
+        """
+        with self._fact_lock:
+            if self._freed:
+                return
             self._freed = True
-            self._container.free()
-            self._mf.free()
+            if self._active_solves > 0:
+                self._free_pending = True
+                return
+        self._release_resources()
+
+    def _release_resources(self) -> None:
+        """Actually drop the factors; reached exactly once per instance."""
+        self._container.free()
+        self._mf.free()
 
     def __enter__(self) -> "CoupledFactorization":
         return self
@@ -159,7 +239,7 @@ class CoupledFactorization:
     def __exit__(self, *exc) -> None:
         self.free()
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+    def __repr__(self) -> str:  # lock-ok: racy debug snapshot; pragma: no cover
         return (
             f"CoupledFactorization({self.algorithm!r}, "
             f"n={self.problem.n_total}, solves={self.n_solves})"

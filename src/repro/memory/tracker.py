@@ -57,6 +57,9 @@ CATEGORY_DESCRIPTIONS: Dict[str, str] = {
                         "recompression (RkAccumulator batches)",
     "axpy_gather": "cluster-permuted gather of one dense AXPY panel",
     "axpy_plan": "pre-compressed AXPY plan awaiting commit",
+    "factor_cache": "cached numeric factorizations held by the serving "
+                    "layer's FactorCache (charged at entry peak_bytes, "
+                    "released on LRU eviction)",
 }
 
 

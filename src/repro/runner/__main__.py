@@ -9,6 +9,10 @@ Regenerate any of the paper's tables and figures from the shell::
     python -m repro.runner table2
     python -m repro.runner all
 
+or run the persistent solver server (see ``docs/serving.md``)::
+
+    python -m repro.runner serve --socket /tmp/repro.sock
+
 ``fig10`` accepts ``--full`` for the complete configuration grid and size
 sweep (slow: the multi-factorization cells at large N take minutes).
 ``--n-workers K`` runs every solve on the K-wide parallel panel runtime
@@ -52,6 +56,33 @@ def _cmd_table2(args) -> str:
     return reporting.render_table2(
         experiments.run_table2(n_total=args.n_total)
     )
+
+
+def _cmd_serve(args) -> str:
+    import asyncio
+
+    from repro.core.config import SolverConfig
+    from repro.serving import run_server
+
+    config = SolverConfig(
+        dense_backend=args.dense_backend,
+        serve_cache_entries=args.cache_entries,
+        serve_cache_budget=args.cache_budget,
+        serve_batching=args.batching,
+        serve_batch_linger_ms=args.linger_ms,
+        serve_max_batch_cols=args.max_batch_cols,
+        serve_executor_threads=args.executor_threads,
+    )
+    from repro.serving.server import default_socket_path
+
+    socket_path = args.socket or default_socket_path()
+    print(f"serving on {socket_path} "
+          f"(cache: {'on' if args.cache else 'off'}, "
+          f"batching: {'on' if config.effective_serve_batching else 'off'})",
+          flush=True)
+    asyncio.run(run_server(config, socket_path=socket_path,
+                           cache_enabled=args.cache))
+    return "server stopped"
 
 
 def main(argv=None) -> int:
@@ -106,6 +137,33 @@ def main(argv=None) -> int:
 
     sub.add_parser("all", help="everything except the slow table2")
 
+    ps = sub.add_parser(
+        "serve",
+        help="persistent solver server (factor cache + RHS batching)",
+    )
+    ps.add_argument("--socket", default=None,
+                    help="unix socket path (default: per-PID under $TMPDIR)")
+    ps.add_argument("--dense-backend", default="hmat",
+                    choices=("dense", "hmat"),
+                    help="Schur backend of served factorizations")
+    ps.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="cache numeric factorizations across requests")
+    ps.add_argument("--cache-entries", type=int, default=4,
+                    help="factor-cache entry cap (LRU beyond it)")
+    ps.add_argument("--cache-budget", type=int, default=None, metavar="BYTES",
+                    help="factor-cache byte budget (default: unlimited)")
+    ps.add_argument("--batching", action=argparse.BooleanOptionalAction,
+                    default=None,
+                    help="coalesce concurrent RHS into panels "
+                         "(default: $REPRO_SERVE_BATCHING or on)")
+    ps.add_argument("--linger-ms", type=float, default=2.0,
+                    help="batching linger window in milliseconds")
+    ps.add_argument("--max-batch-cols", type=int, default=None,
+                    help="panel column cap (default: DEFAULT_RHS_PANEL)")
+    ps.add_argument("--executor-threads", type=int, default=2,
+                    help="blocking-work executor threads")
+
     args = parser.parse_args(argv)
     if args.n_workers is not None:
         if args.n_workers < 1:
@@ -133,6 +191,7 @@ def main(argv=None) -> int:
         "fig12": _cmd_fig12,
         "fig13": _cmd_fig13,
         "table2": _cmd_table2,
+        "serve": _cmd_serve,
     }
     if args.command == "all":
         for name in ("table1", "fig10", "fig12", "fig13"):

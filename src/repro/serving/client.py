@@ -1,0 +1,153 @@
+"""Async client for :class:`repro.serving.server.SolverServer`.
+
+One :class:`ServingClient` owns one connection.  Requests are pipelined:
+every call gets a fresh ``request_id``, a background reader task matches
+responses back to their futures, so many coroutines can share a client
+and issue overlapping ``solve`` calls — which is exactly what feeds the
+server-side RHS batcher.
+
+>>> client = await ServingClient.connect(socket_path)
+>>> result = await client.factorize(problem)          # miss: builds
+>>> x_v, x_s = await client.solve(result.key, b_v, b_s)
+>>> await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.protocol import (
+    ProtocolError,
+    raise_remote_error,
+    read_message,
+    write_message,
+)
+
+
+class FactorizeResult:
+    """Outcome of a ``factorize`` request."""
+
+    __slots__ = ("key", "hit", "evictions", "peak_bytes")
+
+    def __init__(self, key: str, hit: bool, evictions: int,
+                 peak_bytes: int) -> None:
+        self.key = key
+        self.hit = hit
+        self.evictions = evictions
+        self.peak_bytes = peak_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "hit" if self.hit else "miss"
+        return f"FactorizeResult({self.key[:12]}…, {state})"
+
+
+class ServingClient:
+    """Request-pipelined connection to a running solver server."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._pending: Dict[int, "asyncio.Future"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, socket_path: str) -> "ServingClient":
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        return cls(reader, writer)
+
+    # -- plumbing --------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                response = await read_message(self._reader)
+                if response is None:
+                    break
+                future = self._pending.pop(response.get("request_id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            error = ProtocolError("client closed with requests in flight")
+        except Exception as exc:
+            error = exc
+        if error is None:
+            error = ProtocolError("server closed the connection")
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def _request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        if self._closed:
+            raise ProtocolError("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        message = {"op": op, "request_id": request_id, **fields}
+        async with self._write_lock:
+            await write_message(self._writer, message)
+        response = await future
+        if not response.get("ok"):
+            raise_remote_error(response)
+        return response
+
+    # -- API -------------------------------------------------------------------
+    async def factorize(self, problem, algorithm: str = "multi_solve",
+                        ) -> FactorizeResult:
+        """Ensure a live factorization of ``problem``; returns its key."""
+        response = await self._request("factorize", problem=problem,
+                                       algorithm=algorithm)
+        return FactorizeResult(response["key"], response["hit"],
+                               response["evictions"],
+                               response["peak_bytes"])
+
+    async def solve(self, key: str, b_v: np.ndarray, b_s: np.ndarray,
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve one load case against the cached factorization ``key``."""
+        response = await self._request("solve", key=key, b_v=b_v, b_s=b_s)
+        return response["x_v"], response["x_s"]
+
+    async def solve_system(self, problem, algorithm: str = "multi_solve",
+                           ) -> Tuple[np.ndarray, np.ndarray]:
+        """Factorize (or hit the cache) and solve the embedded RHS."""
+        result = await self.factorize(problem, algorithm)
+        return await self.solve(result.key, problem.b_v, problem.b_s)
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's stats snapshot (requests, cache, batching)."""
+        response = await self._request("stats")
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        response = await self._request("ping")
+        return bool(response.get("pong"))
+
+    async def shutdown_server(self) -> None:
+        """Ask the server to drain and exit."""
+        await self._request("shutdown")
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._reader_task.cancel()
+        await asyncio.gather(self._reader_task, return_exceptions=True)
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -7,6 +7,7 @@ them.  Nothing here knows about solvers or meshes.
 from repro.utils.errors import (
     ReproError,
     ConfigurationError,
+    FactorizationFreed,
     MemoryLimitExceeded,
     NumericalError,
     SingularMatrixError,
@@ -28,6 +29,7 @@ from repro.utils.validation import (
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "FactorizationFreed",
     "MemoryLimitExceeded",
     "NumericalError",
     "SingularMatrixError",

@@ -47,6 +47,19 @@ class MemoryLimitExceeded(ReproError):
         )
 
 
+class FactorizationFreed(ReproError):
+    """A solve was attempted on a factorization that has been freed.
+
+    Raised by :meth:`repro.core.factorized.CoupledFactorization.solve`
+    when the handle was released — typically because the serving layer's
+    :class:`repro.serving.FactorCache` evicted the entry under memory
+    pressure between the caller's lookup and its solve.  The race is
+    benign by construction: a solve that was already *in flight* when
+    ``free()`` ran completes normally (the release is deferred until the
+    last active solve drains); only solves started afterwards raise.
+    """
+
+
 class NumericalError(ReproError):
     """A numerical operation failed (breakdown, non-convergence, NaN)."""
 

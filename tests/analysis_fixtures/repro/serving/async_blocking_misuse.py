@@ -1,0 +1,49 @@
+"""Fixture: thread-blocking work inside serving-layer async defs (BLK003).
+
+This file lives under a ``repro/serving/`` path on purpose: BLK003 is
+path-gated to the asyncio serving layer, where a blocking call in an
+``async def`` body stalls the event loop.  The clean functions exercise
+the sanctioned shapes — awaited asyncio primitives and nested sync
+``def`` thunks handed to ``run_in_executor``.
+"""
+
+
+class Handler:
+    async def solve_inline(self, fact, b_v, b_s):
+        return fact.solve(b_v, b_s)  # BLK003
+
+    async def build_inline(self, cache, key, problem):
+        return cache.get_or_build(key, problem)  # BLK003
+
+    async def future_result_inline(self, future):
+        return future.result()  # BLK003
+
+    async def tracker_admission_inline(self, nbytes):
+        return self.tracker.acquire(nbytes)  # BLK003
+
+    async def threading_wait_inline(self):
+        self._done_event.wait()  # BLK003
+
+    async def solve_via_executor(self, loop, fact, b_v, b_s):
+        # the sanctioned shape: the blocking call lives in a nested sync
+        # def, which runs on an executor thread
+        def blocked_solve():
+            return fact.solve(b_v, b_s)
+
+        return await loop.run_in_executor(None, blocked_solve)
+
+    async def awaited_asyncio_primitives(self, lock, event, coro_fn):
+        # awaited calls are asyncio's own cooperative versions — clean
+        await lock.acquire()
+        await event.wait()
+        return await coro_fn()
+
+    async def nonblocking_probe(self):
+        return self._gate.acquire(blocking=False)  # clean
+
+    async def waived_solve(self, fact, b_v, b_s):
+        return fact.solve(b_v, b_s)  # blk-ok: fixture waiver check
+
+    def sync_method_is_out_of_scope(self, fact, b_v, b_s):
+        # BLK003 only governs async bodies; sync callers block by design
+        return fact.solve(b_v, b_s)

@@ -1,10 +1,12 @@
 """Tests for the reusable CoupledFactorization (factor once, solve many)."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core import CoupledFactorization, SolverConfig, solve_coupled
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, FactorizationFreed
 
 
 @pytest.fixture(scope="module", params=["spido", "hmat", "spido_ooc"])
@@ -96,7 +98,7 @@ class TestLifecycleAndErrors:
         f = CoupledFactorization(pipe_small, "multi_solve",
                                  SolverConfig(n_c=64))
         f.free()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(FactorizationFreed):
             f.solve(pipe_small.b_v, pipe_small.b_s)
 
     def test_free_releases_tracked_memory(self, pipe_small):
@@ -112,3 +114,120 @@ class TestLifecycleAndErrors:
         assert s.n_total == pipe_medium.n_total
         assert s.peak_bytes > 0
         assert "sparse_factorization" in s.phases
+
+
+class TestConcurrency:
+    """The PR-8 serving contract: concurrent solve() + idempotent free().
+
+    A solve racing an eviction-driven free() must either complete
+    against live factors or raise FactorizationFreed — never read freed
+    state or double-release tracker charges.  The module-level watchdog
+    fixture verifies lock ordering and tracker balance around each test.
+    """
+
+    def test_free_is_idempotent(self, pipe_small):
+        f = CoupledFactorization(pipe_small, "multi_solve",
+                                 SolverConfig(n_c=64))
+        tracker = f._ctx.tracker
+        f.free()
+        f.free()
+        f.free()
+        assert f.freed
+        tracker.assert_all_freed()
+
+    def test_solve_after_free_raises_typed(self, pipe_small):
+        f = CoupledFactorization(pipe_small, "multi_solve",
+                                 SolverConfig(n_c=64))
+        f.free()
+        with pytest.raises(FactorizationFreed):
+            f.solve(pipe_small.b_v, pipe_small.b_s)
+
+    def test_concurrent_solves_agree(self, pipe_small):
+        f = CoupledFactorization(pipe_small, "multi_solve",
+                                 SolverConfig(n_c=64))
+        reference = f.solve(pipe_small.b_v, pipe_small.b_s)
+        results = [None] * 8
+        errors = []
+
+        def worker(i):
+            try:
+                results[i] = f.solve(pipe_small.b_v, pipe_small.b_s)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for x_v, x_s in results:
+            np.testing.assert_array_equal(x_v, reference[0])
+            np.testing.assert_array_equal(x_s, reference[1])
+        f.free()
+
+    def test_free_defers_until_solves_drain(self, pipe_small):
+        """free() during active solves: they complete, release is deferred."""
+        f = CoupledFactorization(pipe_small, "multi_solve",
+                                 SolverConfig(n_c=64))
+        tracker = f._ctx.tracker
+        started = threading.Barrier(4 + 1)
+        results = []
+        errors = []
+
+        def worker():
+            started.wait()
+            try:
+                results.append(f.solve(pipe_small.b_v, pipe_small.b_s))
+            except FactorizationFreed:
+                pass  # acceptable: free won the begin-solve race
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        started.wait()
+        f.free()  # races the in-flight solves
+        for t in threads:
+            t.join()
+        assert not errors
+        assert f.freed
+        for x_v, x_s in results:
+            assert pipe_small.relative_error(x_v, x_s) < 1e-3
+        # whatever mix of completed/refused solves occurred, the deferred
+        # release ran exactly once and the balance is zero
+        tracker.assert_all_freed()
+        with pytest.raises(FactorizationFreed):
+            f.solve(pipe_small.b_v, pipe_small.b_s)
+
+    def test_solve_free_hammer(self, pipe_small):
+        """Many rounds of solve threads racing a freeing thread."""
+        for _ in range(5):
+            f = CoupledFactorization(pipe_small, "multi_solve",
+                                     SolverConfig(n_c=64))
+            tracker = f._ctx.tracker
+            go = threading.Barrier(3 + 1)
+            errors = []
+
+            def solver(fact=f, barrier=go):
+                barrier.wait()
+                for _ in range(3):
+                    try:
+                        fact.solve(pipe_small.b_v, pipe_small.b_s)
+                    except FactorizationFreed:
+                        return
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=solver) for _ in range(3)]
+            for t in threads:
+                t.start()
+            go.wait()
+            f.free()
+            for t in threads:
+                t.join()
+            assert not errors
+            tracker.assert_all_freed()

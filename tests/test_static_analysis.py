@@ -319,6 +319,38 @@ class TestBlockingChecker:
                       "nonblocking_probe", "slab_pop_under_lock"):
             assert all(clean not in f.message for f in found)
 
+    def test_async_fixture_findings(self):
+        found = run_checkers(
+            [str(FIXTURES / "repro" / "serving"
+                 / "async_blocking_misuse.py")],
+            only=["blocking-under-lock"])
+        assert codes(found) == {"BLK003"}
+        assert len(found) == 5
+        for bad in ("fact.solve", "cache.get_or_build", "future.result",
+                    "tracker.acquire", "_done_event.wait"):
+            assert any(bad in f.message for f in found)
+
+    def test_async_clean_shapes_and_waiver(self):
+        found = run_checkers(
+            [str(FIXTURES / "repro" / "serving"
+                 / "async_blocking_misuse.py")],
+            only=["blocking-under-lock"])
+        # executor thunks, awaited asyncio primitives, non-blocking
+        # probes, sync methods and waived lines are all clean
+        for clean in ("solve_via_executor", "awaited_asyncio_primitives",
+                      "nonblocking_probe", "waived_solve",
+                      "sync_method_is_out_of_scope"):
+            assert all(clean not in f.message for f in found)
+
+    def test_async_rule_is_path_gated(self, tmp_path):
+        # same content outside a repro/serving/ path: BLK003 is silent
+        src = (FIXTURES / "repro" / "serving"
+               / "async_blocking_misuse.py").read_text()
+        other = tmp_path / "not_serving.py"
+        other.write_text(src)
+        found = run_checkers([str(other)], only=["blocking-under-lock"])
+        assert found == []
+
 
 class TestSlabChecker:
     def test_fixture_findings(self):

@@ -18,6 +18,17 @@ the lock — or on an exception edge past the release — is not flagged.
   executor/pool-shaped receiver) while a hierarchy lock is held: pool
   submission can block on a full call queue and completion callbacks may
   take scheduler locks.
+* BLK003 — thread-blocking work called directly (non-awaited) inside an
+  ``async def`` body of the serving layer
+  (:data:`~tools.analysis.config.ASYNC_SERVING_PATH_FRAGMENTS`): a panel
+  ``solve``, a factor-cache ``get_or_build``, a concurrent-futures
+  ``result``/``join``, a threading ``wait``/``wait_for`` or a blocking
+  tracker ``acquire`` stalls the event loop — and with it every batch
+  linger timer and every other connection.  The sanctioned shape is a
+  nested sync ``def`` thunk handed to ``loop.run_in_executor`` (nested
+  function bodies are exempt: they run on executor threads).  ``await``
+  of an asyncio primitive with the same method name (``event.wait()``,
+  ``lock.acquire()`` under ``await``/``async with``) is fine.
 
 Waive with ``# blk-ok: <reason>``.
 """
@@ -30,6 +41,8 @@ from typing import List
 from tools.analysis.base import Checker, Finding, ModuleSource, \
     attribute_chain, receiver_root
 from tools.analysis.config import (
+    ASYNC_BLOCKING_METHODS,
+    ASYNC_SERVING_PATH_FRAGMENTS,
     BLOCKING_RECEIVER_HINTS,
     POOL_RECEIVER_HINTS,
     TRACKER_RECEIVER_HINT,
@@ -115,6 +128,41 @@ class _BlockingAnalysis(LockTrackingAnalysis):
                 blocked(f"pool interaction '{receiver}.{attr}()'", "BLK002")
 
 
+def _in_serving_layer(mod: ModuleSource) -> bool:
+    posix = mod.path.as_posix()
+    return any(frag in posix for frag in ASYNC_SERVING_PATH_FRAGMENTS)
+
+
+def _awaited_calls(func: ast.AsyncFunctionDef) -> set:
+    """ids of Call nodes that are the direct operand of an ``await``."""
+    return {
+        id(node.value) for node in ast.walk(func)
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call)
+    }
+
+
+def _pruned_body_walk(func: ast.AsyncFunctionDef):
+    """Walk ``func``'s body, skipping nested function scopes entirely.
+
+    Nested sync ``def`` bodies are the run_in_executor thunks — blocking
+    there is the whole point; nested ``async def`` bodies are visited as
+    their own BLK003 scope.
+    """
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+#: ``.acquire()`` receivers that actually block a thread (an asyncio
+#: ``lock.acquire()`` would be awaited and is skipped before this gate).
+_ASYNC_ACQUIRE_HINTS = ("tracker", "lock", "cond", "sem")
+
+
 class BlockingUnderLockChecker(Checker):
     name = "blocking-under-lock"
     waiver = "blk-ok"
@@ -131,4 +179,52 @@ class BlockingUnderLockChecker(Checker):
                 f = self.finding(mod, code, line, message)
                 if f is not None:
                     findings.append(f)
+        if _in_serving_layer(mod):
+            findings.extend(self._check_async_bodies(mod))
         return findings
+
+    # -- BLK003: event-loop protection -----------------------------------------
+    def _check_async_bodies(self, mod: ModuleSource) -> List[Finding]:
+        findings = []
+        for func in ast.walk(mod.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            if mod.waived(func.lineno, "blk-ok"):
+                continue
+            awaited = _awaited_calls(func)
+            for node in _pruned_body_walk(func):
+                if (not isinstance(node, ast.Call)
+                        or id(node) in awaited
+                        or not isinstance(node.func, ast.Attribute)):
+                    continue
+                message = self._async_blocking_message(
+                    node, func.name,
+                )
+                if message is None:
+                    continue
+                f = self.finding(mod, "BLK003", node.lineno, message)
+                if f is not None:
+                    findings.append(f)
+        return findings
+
+    @staticmethod
+    def _async_blocking_message(call: ast.Call, func_name: str):
+        """The BLK003 message for ``call``, or None when it is benign."""
+        attr = call.func.attr
+        if attr not in ASYNC_BLOCKING_METHODS:
+            return None
+        receiver = _receiver_text(call.func)
+        if attr in ("result", "join"):
+            if not any(h in receiver for h in BLOCKING_RECEIVER_HINTS):
+                return None
+        elif attr == "acquire":
+            if _false_keyword(call, ("block", "blocking")):
+                return None
+            if not any(h in receiver for h in _ASYNC_ACQUIRE_HINTS):
+                return None
+        return (
+            f"thread-blocking '{receiver}.{attr}(...)' called directly in "
+            f"'async def {func_name}' — this stalls the event loop (batch "
+            f"linger timers and every other connection); wrap it in a sync "
+            f"thunk and run it via loop.run_in_executor"
+        )

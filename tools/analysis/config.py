@@ -45,6 +45,8 @@ ARENA_KEEPALIVE_METHODS = frozenset({"ensure", "frame", "reset"})
 #: (lexically) while holding locks that appear *earlier* in this list.
 #: These attribute names are unique across the codebase by convention.
 LOCK_HIERARCHY = (
+    "_factor_lock",  # repro.serving.factor_cache.FactorCache (entry map)
+    "_fact_lock",    # repro.core.factorized.CoupledFactorization (solve/free)
     "_admit_cond",   # repro.runtime.scheduler.ParallelRuntime (turnstile)
     "_timer_lock",   # repro.runtime.scheduler.ParallelRuntime (timer map)
     "_cond",         # repro.memory.tracker.MemoryTracker (bookkeeping)
@@ -143,6 +145,23 @@ BLOCKING_RECEIVER_HINTS = (
     "future", "fut", "thread", "worker", "proc", "cond", "event", "queue",
     "_done", "pending",
 )
+
+#: Path fragments (posix form) of the asyncio serving layer, where BLK003
+#: applies: an ``async def`` body must never call thread-blocking work
+#: directly — a factorization/panel ``solve``, a concurrent-futures
+#: ``result``/``join``, a blocking tracker ``acquire``, a factor-cache
+#: ``get_or_build`` or a threading ``wait`` stalls the event loop (and
+#: with it every lingering batch timer and every other connection).
+#: Route the call through ``loop.run_in_executor`` instead; nested sync
+#: ``def`` bodies (the executor thunks) are exempt by construction.
+ASYNC_SERVING_PATH_FRAGMENTS = ("repro/serving/",)
+
+#: Method names that block the calling thread and are therefore banned
+#: (non-awaited) directly inside serving-layer ``async def`` bodies.
+ASYNC_BLOCKING_METHODS = frozenset({
+    "solve", "get_or_build", "result", "join", "wait", "wait_for",
+    "acquire",
+})
 
 # -- slab-lifecycle ------------------------------------------------------------
 
