@@ -71,6 +71,23 @@ class SolverConfig:
     randomized_start_rank: int = 16
     randomized_oversample: int = 8
     seed: int = 0
+    #: FCSU front compression + sampled Schur borders in
+    #: multi-factorization: coupling panels of large fronts are compressed
+    #: *before* the contribution-block update, and the Schur border of each
+    #: sparse block is built by randomized sampling directly in low-rank
+    #: form (dense fallback when the rank test fails; see
+    #: ``docs/scaling.md`` §13).  ``None`` = ``$REPRO_FRONT_COMPRESS`` if
+    #: set, else False.
+    front_compress: Optional[bool] = None
+    #: Minimum panel/border dimension before FCSU compression or border
+    #: sampling is attempted; smaller blocks take the exact path bit for
+    #: bit.  ``None`` = ``$REPRO_FRONT_COMPRESS_MIN`` if set, else 192.
+    front_compress_min: Optional[int] = None
+    #: Extra sampling columns beyond the current rank estimate when
+    #: probing a Schur border block (the randomized range-finder
+    #: oversampling for the front pipeline).  ``None`` =
+    #: ``$REPRO_FRONT_SAMPLE_OVERSAMPLING`` if set, else 8.
+    front_sample_oversampling: Optional[int] = None
     #: Steps of iterative refinement after the direct solve: the (possibly
     #: compressed) factorizations precondition a residual correction
     #: evaluated against the *exact* operator, recovering accuracy below
@@ -177,15 +194,24 @@ class SolverConfig:
             raise ConfigurationError(
                 "randomized rank parameters must be >= 1"
             )
+        if self.front_compress_min is not None and self.front_compress_min < 1:
+            raise ConfigurationError(
+                "front_compress_min must be >= 1 or None"
+            )
+        if (self.front_sample_oversampling is not None
+                and self.front_sample_oversampling < 1):
+            raise ConfigurationError(
+                "front_sample_oversampling must be >= 1 or None"
+            )
         if self.refinement_steps < 0:
             raise ConfigurationError("refinement_steps must be >= 0")
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1 or None")
         if self.runtime_backend is not None and self.runtime_backend not in (
-            "thread", "process"
+            "thread", "process", "auto"
         ):
             raise ConfigurationError(
-                "runtime_backend must be 'thread', 'process' or None"
+                "runtime_backend must be 'thread', 'process', 'auto' or None"
             )
         if self.axpy_max_accumulated_rank < 1:
             raise ConfigurationError(
@@ -258,6 +284,32 @@ class SolverConfig:
         return DEFAULT_RHS_PANEL
 
     @property
+    def effective_front_compress(self) -> bool:
+        """Resolved front-compression switch: ``front_compress``,
+        ``$REPRO_FRONT_COMPRESS``, or False."""
+        from repro.sparse.blr import resolve_front_compress
+
+        return resolve_front_compress(self.front_compress)
+
+    @property
+    def effective_front_compress_min(self) -> int:
+        """Resolved FCSU/sampling threshold: ``front_compress_min``,
+        ``$REPRO_FRONT_COMPRESS_MIN``, or 192."""
+        from repro.sparse.blr import resolve_front_compress_min
+
+        return resolve_front_compress_min(self.front_compress_min)
+
+    @property
+    def effective_front_sample_oversampling(self) -> int:
+        """Resolved border oversampling: ``front_sample_oversampling``,
+        ``$REPRO_FRONT_SAMPLE_OVERSAMPLING``, or 8."""
+        from repro.sparse.blr import resolve_front_sample_oversampling
+
+        return resolve_front_sample_oversampling(
+            self.front_sample_oversampling
+        )
+
+    @property
     def hierarchical_tol(self) -> float:
         """Internal rounding tolerance of the hierarchical Schur container.
 
@@ -287,7 +339,9 @@ class SolverConfig:
         if not self.sparse_compression:
             return None
         return BLRConfig(
-            enabled=True, tol=self.epsilon, min_panel=self.blr_min_panel
+            enabled=True, tol=self.epsilon, min_panel=self.blr_min_panel,
+            compress_before_update=self.effective_front_compress,
+            fcsu_min_panel=self.effective_front_compress_min,
         )
 
     def make_tracker(self, name: str = "") -> MemoryTracker:

@@ -53,7 +53,7 @@ from repro.core.schur_tools import (
 )
 from repro.fembem.cases import CoupledProblem
 from repro.hmatrix.hmatrix import HMatrix
-from repro.runtime import PanelTask, make_runtime
+from repro.runtime import PanelTask, choose_auto_backend, make_runtime
 from repro.sparse.solver import SparseSolver
 from repro.sparse.symbolic_cache import SymbolicCache
 
@@ -186,6 +186,12 @@ def assemble_multi_solve(ctx: RunContext):
         )
 
     backend = ctx.runtime_backend
+    if backend == "auto":
+        # one task = one n_s × n_c result panel
+        backend = choose_auto_backend(
+            n_s * config.n_c * itemsize, ctx.n_workers
+        )
+        ctx.runtime_backend = backend
     worker_payload = None
     if backend == "process":
         # shipped once per worker: the factorization (tracker stripped by

@@ -23,6 +23,7 @@ the relative residual drops below the tolerance.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
 
 import numpy as np
@@ -39,21 +40,35 @@ def _gaussian(rng: np.random.Generator, shape, dtype) -> np.ndarray:
 
 
 class CorrectionSampler:
-    """Applies ``K = A_sv A_vv⁻¹ A_svᵀ`` (and ``Kᵀ``) restricted to blocks."""
+    """Applies ``K = A_sv A_vv⁻¹ A_svᵀ`` (and ``Kᵀ``) restricted to blocks.
+
+    With a ``tracker``, the transient solve workspace of each application
+    is borrowed under the ``schur_sampling`` category, so sampled-border
+    admission stays under the MemoryTracker limit like every other phase.
+    """
 
     def __init__(self, mf, a_sv, exploit_sparsity: bool = True,
-                 on_solve=None):
+                 on_solve=None, tracker=None):
         self.mf = mf
         self.a_sv = a_sv.tocsr()
         self.a_sv_t = a_sv.T.tocsc()
         self.exploit_sparsity = exploit_sparsity
         self.on_solve = on_solve or (lambda: None)
+        self.tracker = tracker
+
+    def _borrow(self, n_rhs: int):
+        if self.tracker is None:
+            return nullcontext()
+        return self.tracker.borrow(
+            self.mf.solve_workspace_bytes(n_rhs), "schur_sampling"
+        )
 
     def apply(self, rows: np.ndarray, cols: np.ndarray,
               x: np.ndarray) -> np.ndarray:
         """``K[rows, cols] @ x`` via one blocked sparse solve."""
         rhs = self.a_sv_t[:, cols] @ x
-        y = self.mf.solve(rhs, exploit_sparsity=False)
+        with self._borrow(x.shape[1]):
+            y = self.mf.solve(rhs, exploit_sparsity=False)
         self.on_solve()
         return self.a_sv[rows] @ y
 
@@ -61,7 +76,8 @@ class CorrectionSampler:
                         x: np.ndarray) -> np.ndarray:
         """``K[rows, cols]ᵀ @ x`` via one blocked transpose solve."""
         rhs = self.a_sv[rows].T @ x
-        y = self.mf.solve_transpose(rhs)
+        with self._borrow(x.shape[1]):
+            y = self.mf.solve_transpose(rhs)
         self.on_solve()
         return self.a_sv_t[:, cols].T @ y
 
@@ -70,6 +86,22 @@ class CorrectionSampler:
         """Exact ``K[rows, cols]`` (used on the small diagonal leaves)."""
         eye = np.eye(len(cols), dtype=dtype)
         return self.apply(rows, cols, eye)
+
+    def dense_block_exact(self, rows: np.ndarray, cols: np.ndarray,
+                          dtype) -> np.ndarray:
+        """Exact ``K[rows, cols]`` through the sparse-RHS solve path.
+
+        The dense fallback of the sampled-border pipeline: identical to
+        the blocked multi-factorization W product ``A_sv A_vv⁻¹ A_svᵀ``
+        restricted to the block, including the sparse-RHS forward sweep
+        when the factorization supports it (bitwise parity with the
+        unsampled path depends only on the surrounding assembly order).
+        """
+        rhs = np.asarray(self.a_sv_t[:, cols].todense(), dtype=dtype)
+        with self._borrow(len(cols)):
+            y = self.mf.solve(rhs, exploit_sparsity=self.exploit_sparsity)
+        self.on_solve()
+        return self.a_sv[rows] @ y
 
 
 def randomized_block_rk(
@@ -111,6 +143,52 @@ def randomized_block_rk(
 
     # V = (Qᵀ K)ᵀ = Kᵀ conj(Q); stored with a plain transpose so that the
     # block is exactly Q @ Vᵀ
+    v = sampler.apply_transpose(rows, cols, np.conj(q))
+    return RkMatrix(q, v)
+
+
+def sample_schur_block_rk(
+    sampler: CorrectionSampler,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    tol: float,
+    rng: np.random.Generator,
+    dtype,
+    start_rank: int = 16,
+    oversample: int = 8,
+    n_probe: int = 4,
+) -> Optional[RkMatrix]:
+    """Sampled Schur-border block, or ``None`` when the rank test fails.
+
+    The front pipeline's rank test: the adaptive range finder runs with a
+    rank cap of half the block dimension (beyond that a low-rank product
+    stores more than the dense block and the sampling solves outnumber the
+    blocked ones).  When the cap is reached without meeting ``tol`` the
+    block is *not* numerically low-rank and the caller must take the dense
+    fallback — returning ``None`` keeps that decision explicit.
+    """
+    m, n = len(rows), len(cols)
+    cap = max(min(start_rank, m, n), min(m, n) // 2)
+    rank = max(1, min(start_rank, cap))
+    probes = _gaussian(rng, (n, n_probe), dtype)
+    k_probes = sampler.apply(rows, cols, probes)
+    probe_norm = float(np.linalg.norm(k_probes))
+    if probe_norm == 0.0:
+        return RkMatrix.zeros(m, n, dtype=dtype)
+
+    while True:
+        r = min(rank + oversample, min(m, n))
+        omega = _gaussian(rng, (n, r), dtype)
+        y = sampler.apply(rows, cols, omega)
+        q, _ = np.linalg.qr(y)
+        residual = k_probes - q @ (q.conj().T @ k_probes)
+        rel = float(np.linalg.norm(residual)) / probe_norm
+        if rel <= tol:
+            break
+        if r >= min(m, n) or rank >= cap:
+            return None
+        rank = min(2 * rank, cap)
+
     v = sampler.apply_transpose(rows, cols, np.conj(q))
     return RkMatrix(q, v)
 

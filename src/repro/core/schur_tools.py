@@ -50,6 +50,11 @@ class RunContext:
         self.n_symbolic_reuses = 0
         self.n_workers = config.effective_n_workers
         self.runtime_backend = config.effective_runtime_backend
+        #: Sampled-border pipeline counters (``config.front_compress``):
+        #: borders built directly in low-rank form vs. blocks whose rank
+        #: test failed and fell back to the dense product.
+        self.n_sampled_borders = 0
+        self.n_border_fallbacks = 0
         #: Filled by the assembly phase when it ran on the parallel
         #: runtime (:mod:`repro.runtime`): per-worker phase breakdown.
         self.runtime_report = None
@@ -93,6 +98,9 @@ class RunContext:
                 "runtime_backend": self.runtime_backend,
                 "reuse_analysis": self.config.effective_reuse_analysis,
                 "axpy_accumulate": self.config.effective_axpy_accumulate,
+                "front_compress": self.config.effective_front_compress,
+                "n_sampled_borders": self.n_sampled_borders,
+                "n_border_fallbacks": self.n_border_fallbacks,
             },
         )
 
@@ -257,6 +265,33 @@ class HodlrSchurContainer:
         return self.s.precompress_axpy(
             1.0, x, rows, cols, compressor=self.config.compressor,
             tracker=self.tracker if charge_gather else None,
+        )
+
+    def precompress_subtract_rk(self, rk, rows: np.ndarray,
+                                cols: np.ndarray):
+        """Pre-compress ``S[rows, cols] -= U Vᵀ`` from low-rank factors.
+
+        The dense ``len(rows) × len(cols)`` block never exists — quadrant
+        pieces are factor slices recompressed at the container tolerance
+        (thread-safe like :meth:`precompress_subtract`)."""
+        return self.s.precompress_axpy_rk(-1.0, rk, rows, cols)
+
+    def precompress_subtract_sampled(self, rows: np.ndarray,
+                                     cols: np.ndarray, sample_rk,
+                                     dense_piece,
+                                     min_sample_dim: int = 64):
+        """Pre-compress ``S[rows, cols] -= K[rows, cols]`` by *sampling*.
+
+        The sampled-border pipeline (``config.front_compress``): each
+        off-diagonal quadrant of the update is built directly in low-rank
+        form by the ``sample_rk`` callback, diagonal leaves and refused
+        quadrants by ``dense_piece`` — see
+        :meth:`repro.hmatrix.hmatrix.HMatrix.precompress_axpy_sampled`.
+        Returns ``(plan, n_sampled, n_fallbacks)``."""
+        return self.s.precompress_axpy_sampled(
+            -1.0, rows, cols, sample_rk, dense_piece,
+            min_sample_dim=min_sample_dim,
+            compressor=self.config.compressor,
         )
 
     def structure_skeleton(self):

@@ -506,6 +506,198 @@ class HMatrix:
         plan.folds.append(_FoldUpdate(node, side, small,
                                       local_rows, local_cols))
 
+    def precompress_axpy_rk(
+        self,
+        alpha,
+        rk: RkMatrix,
+        rows: np.ndarray,
+        cols: np.ndarray,
+    ) -> AxpyPlan:
+        """:meth:`precompress_axpy` taking the panel already in low-rank form.
+
+        The sampled-border pipeline hands the Schur contribution over as an
+        :class:`RkMatrix` whose ``U Vᵀ`` never exists densely; the plan is
+        built from permuted *factor* slices — each quadrant piece is the
+        row/column restriction of the factors, recompressed at the matrix
+        tolerance (``O((m+n)r²)`` per piece, no dense gather at all) and
+        dense diagonal leaves densify only their own small restriction.
+        Thread-safe like the dense variant; commit via :meth:`commit_axpy`.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        if rk.shape != (len(rows), len(cols)):
+            raise ConfigurationError(
+                f"rk shape {rk.shape} does not match index sets "
+                f"({len(rows)}, {len(cols)})"
+            )
+        rp = self.tree.inv_perm[rows]
+        cp = self.tree.inv_perm[cols]
+        ro = np.argsort(rp, kind="stable")
+        co = np.argsort(cp, kind="stable")
+        plan = AxpyPlan(alpha)
+        self._plan_node_rk(plan, self.root, rp[ro], cp[co],
+                           rk.u[ro], rk.v[co])
+        return plan
+
+    def _plan_node_rk(
+        self,
+        plan: AxpyPlan,
+        node: HNode,
+        rp: np.ndarray,
+        cp: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+    ) -> None:
+        if len(rp) == 0 or len(cp) == 0:
+            return
+        if node.is_leaf:
+            plan.leaves.append(_LeafUpdate(
+                node, rp - node.start, cp - node.start, u @ v.T
+            ))
+            return
+        rcut = int(np.searchsorted(rp, node.mid))
+        ccut = int(np.searchsorted(cp, node.mid))
+        self._plan_node_rk(plan, node.h11, rp[:rcut], cp[:ccut],
+                           u[:rcut], v[:ccut])
+        self._plan_node_rk(plan, node.h22, rp[rcut:], cp[ccut:],
+                           u[rcut:], v[ccut:])
+        if rcut > 0 and ccut < len(cp):
+            self._plan_fold_rk(
+                plan, node, "12", u[:rcut], v[ccut:],
+                rp[:rcut] - node.start, cp[ccut:] - node.mid,
+            )
+        if rcut < len(rp) and ccut > 0:
+            self._plan_fold_rk(
+                plan, node, "21", u[rcut:], v[:ccut],
+                rp[rcut:] - node.mid, cp[:ccut] - node.start,
+            )
+
+    def _plan_fold_rk(
+        self,
+        plan: AxpyPlan,
+        node: HNode,
+        side: str,
+        u: np.ndarray,
+        v: np.ndarray,
+        local_rows: np.ndarray,
+        local_cols: np.ndarray,
+    ) -> None:
+        small = RkMatrix(u, v).truncate(self.tol)
+        self._count(panel=1)
+        if small.rank == 0:
+            return
+        if plan.alpha != 1:
+            # scaled() copies — the factor slices stay shared with siblings
+            small = small.scaled(plan.alpha)
+        plan.folds.append(_FoldUpdate(node, side, small,
+                                      local_rows, local_cols))
+
+    def precompress_axpy_sampled(
+        self,
+        alpha,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        sample_rk,
+        dense_piece,
+        min_sample_dim: int = 64,
+        compressor: str = "svd",
+    ):
+        """Build an :class:`AxpyPlan` by *sampling* an operator blockwise.
+
+        The sampled-border pipeline: instead of gathering a dense panel and
+        compressing its quadrant pieces, each off-diagonal quadrant of the
+        update is requested directly in low-rank form from
+        ``sample_rk(global_rows, global_cols) -> Optional[RkMatrix]`` (a
+        randomized range finder against the operator; ``None`` = rank test
+        failed) and dense diagonal-leaf pieces from
+        ``dense_piece(global_rows, global_cols) -> ndarray``.  Quadrants
+        below ``min_sample_dim`` or whose rank test fails fall back to the
+        exact dense piece compressed the usual way — so the only thing that
+        ever exists densely is what the plan would have stored densely
+        anyway.  The full ``len(rows) × len(cols)`` block is never
+        materialized.
+
+        Returns ``(plan, n_sampled, n_fallbacks)`` where ``n_fallbacks``
+        counts quadrants where sampling was *attempted* and refused.
+        Thread-safe like :meth:`precompress_axpy`; callbacks are invoked in
+        deterministic tree order, so a seeded sampler yields identical
+        plans on every backend.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        rp = self.tree.inv_perm[rows]
+        cp = self.tree.inv_perm[cols]
+        ro = np.argsort(rp, kind="stable")
+        co = np.argsort(cp, kind="stable")
+        plan = AxpyPlan(alpha)
+        counts = [0, 0]
+        self._plan_node_sampled(
+            plan, self.root, rp[ro], cp[co], rows[ro], cols[co],
+            sample_rk, dense_piece, min_sample_dim, compressor, counts,
+        )
+        return plan, counts[0], counts[1]
+
+    def _plan_node_sampled(
+        self, plan, node, rp, cp, grows, gcols,
+        sample_rk, dense_piece, min_dim, compressor, counts,
+    ) -> None:
+        if len(rp) == 0 or len(cp) == 0:
+            return
+        if node.is_leaf:
+            plan.leaves.append(_LeafUpdate(
+                node, rp - node.start, cp - node.start,
+                np.asarray(dense_piece(grows, gcols)),
+            ))
+            return
+        rcut = int(np.searchsorted(rp, node.mid))
+        ccut = int(np.searchsorted(cp, node.mid))
+        self._plan_node_sampled(
+            plan, node.h11, rp[:rcut], cp[:ccut], grows[:rcut], gcols[:ccut],
+            sample_rk, dense_piece, min_dim, compressor, counts,
+        )
+        self._plan_node_sampled(
+            plan, node.h22, rp[rcut:], cp[ccut:], grows[rcut:], gcols[ccut:],
+            sample_rk, dense_piece, min_dim, compressor, counts,
+        )
+        if rcut > 0 and ccut < len(cp):
+            self._plan_fold_sampled(
+                plan, node, "12", grows[:rcut], gcols[ccut:],
+                rp[:rcut] - node.start, cp[ccut:] - node.mid,
+                sample_rk, dense_piece, min_dim, compressor, counts,
+            )
+        if rcut < len(rp) and ccut > 0:
+            self._plan_fold_sampled(
+                plan, node, "21", grows[rcut:], gcols[:ccut],
+                rp[rcut:] - node.mid, cp[:ccut] - node.start,
+                sample_rk, dense_piece, min_dim, compressor, counts,
+            )
+
+    def _plan_fold_sampled(
+        self, plan, node, side, grows, gcols, local_rows, local_cols,
+        sample_rk, dense_piece, min_dim, compressor, counts,
+    ) -> None:
+        rk = None
+        attempted = min(len(grows), len(gcols)) >= min_dim
+        if attempted:
+            rk = sample_rk(grows, gcols)
+        if rk is None:
+            if attempted:
+                counts[1] += 1
+            self._plan_fold(
+                plan, node, side, np.asarray(dense_piece(grows, gcols)),
+                local_rows, local_cols, compressor,
+            )
+            return
+        counts[0] += 1
+        small = rk.truncate(self.tol)
+        self._count(panel=1)
+        if small.rank == 0:
+            return
+        if plan.alpha != 1:
+            small = small.scaled(plan.alpha)
+        plan.folds.append(_FoldUpdate(node, side, small,
+                                      local_rows, local_cols))
+
     def commit_axpy(
         self,
         plan: AxpyPlan,

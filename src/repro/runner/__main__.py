@@ -97,11 +97,30 @@ def main(argv=None) -> int:
              "(default: $REPRO_N_WORKERS or 1; results are bit-identical)",
     )
     parser.add_argument(
-        "--runtime-backend", choices=("thread", "process"), default=None,
+        "--runtime-backend", choices=("thread", "process", "auto"),
+        default=None,
         help="execution backend of the parallel panel runtime "
              "(default: $REPRO_RUNTIME_BACKEND or 'thread'; 'process' runs "
              "panel kernels in worker processes with shared-memory results "
-             "— bit-identical solutions, true multi-core scaling)",
+             "— bit-identical solutions, true multi-core scaling; 'auto' "
+             "picks per run from task size and worker count)",
+    )
+    parser.add_argument(
+        "--front-compress", dest="front_compress",
+        action=argparse.BooleanOptionalAction, default=None,
+        help="FCSU front compression + randomized-sampled Schur borders "
+             "(default: $REPRO_FRONT_COMPRESS or off; see docs/scaling.md "
+             "§13)",
+    )
+    parser.add_argument(
+        "--front-compress-min", type=int, default=None, metavar="K",
+        help="minimum panel/border dimension before front compression or "
+             "border sampling is attempted (default: 192)",
+    )
+    parser.add_argument(
+        "--front-sample-oversampling", type=int, default=None, metavar="P",
+        help="extra sampling columns of the border range finder "
+             "(default: 8)",
     )
     parser.add_argument(
         "--reuse-analysis", dest="reuse_analysis",
@@ -185,6 +204,28 @@ def main(argv=None) -> int:
         from repro.hmatrix.rk import AXPY_ACCUMULATE_ENV
 
         os.environ[AXPY_ACCUMULATE_ENV] = "1" if args.axpy_accumulate else "0"
+    if (args.front_compress is not None or args.front_compress_min is not None
+            or args.front_sample_oversampling is not None):
+        from repro.sparse.blr import (
+            FRONT_COMPRESS_ENV,
+            FRONT_COMPRESS_MIN_ENV,
+            FRONT_SAMPLE_OVERSAMPLING_ENV,
+        )
+
+        if args.front_compress is not None:
+            os.environ[FRONT_COMPRESS_ENV] = (
+                "1" if args.front_compress else "0"
+            )
+        if args.front_compress_min is not None:
+            if args.front_compress_min < 1:
+                parser.error("--front-compress-min must be >= 1")
+            os.environ[FRONT_COMPRESS_MIN_ENV] = str(args.front_compress_min)
+        if args.front_sample_oversampling is not None:
+            if args.front_sample_oversampling < 1:
+                parser.error("--front-sample-oversampling must be >= 1")
+            os.environ[FRONT_SAMPLE_OVERSAMPLING_ENV] = str(
+                args.front_sample_oversampling
+            )
     commands = {
         "table1": _cmd_table1,
         "fig10": _cmd_fig10,

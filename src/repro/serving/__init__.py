@@ -25,7 +25,11 @@ from repro.serving.factor_cache import (
     config_fingerprint_fields,
     system_fingerprint,
 )
-from repro.serving.protocol import ProtocolError, ServingError
+from repro.serving.protocol import (
+    ConnectionLostError,
+    ProtocolError,
+    ServingError,
+)
 from repro.serving.server import (
     SolverServer,
     default_socket_path,
@@ -37,6 +41,7 @@ __all__ = [
     "FACTOR_CACHE_CATEGORY",
     "SERVE_BATCHING_ENV",
     "CacheResult",
+    "ConnectionLostError",
     "FactorCache",
     "FactorizeResult",
     "ProtocolError",

@@ -6,6 +6,13 @@ responses back to their futures, so many coroutines can share a client
 and issue overlapping ``solve`` calls — which is exactly what feeds the
 server-side RHS batcher.
 
+Clients built by :meth:`ServingClient.connect` remember the socket path
+and transparently **reconnect with bounded exponential backoff** when the
+connection drops mid-request (server restart, transient socket failure):
+the failed request is re-sent on the fresh connection — every server op
+is idempotent against the factor cache except ``shutdown``, which is
+never retried.  ``retries=0`` restores fail-fast behaviour.
+
 >>> client = await ServingClient.connect(socket_path)
 >>> result = await client.factorize(problem)          # miss: builds
 >>> x_v, x_s = await client.solve(result.key, b_v, b_s)
@@ -20,11 +27,17 @@ from typing import Any, Dict, Optional, Tuple
 import numpy as np
 
 from repro.serving.protocol import (
+    ConnectionLostError,
     ProtocolError,
     raise_remote_error,
     read_message,
     write_message,
 )
+
+#: Defaults of the reconnect policy (see :meth:`ServingClient.connect`).
+DEFAULT_RETRIES = 5
+DEFAULT_BACKOFF_BASE = 0.05
+DEFAULT_BACKOFF_CAP = 1.0
 
 
 class FactorizeResult:
@@ -48,26 +61,48 @@ class ServingClient:
     """Request-pipelined connection to a running solver server."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 socket_path: Optional[str] = None,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP) -> None:
         self._reader = reader
         self._writer = writer
+        self._socket_path = socket_path
+        self._retries = max(0, int(retries))
+        self._backoff_base = float(backoff_base)
+        self._backoff_cap = float(backoff_cap)
         self._write_lock = asyncio.Lock()
+        self._reconnect_lock = asyncio.Lock()
         self._pending: Dict[int, "asyncio.Future"] = {}
         self._next_id = 0
         self._closed = False
-        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._broken = False
+        self._reader_task = asyncio.ensure_future(self._read_loop(reader))
 
     @classmethod
-    async def connect(cls, socket_path: str) -> "ServingClient":
+    async def connect(cls, socket_path: str,
+                      retries: int = DEFAULT_RETRIES,
+                      backoff_base: float = DEFAULT_BACKOFF_BASE,
+                      backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                      ) -> "ServingClient":
+        """Connect to ``socket_path`` and remember it for reconnects.
+
+        ``retries`` bounds how often one request is retried after a lost
+        connection; waits between attempts grow as
+        ``backoff_base · 2^attempt`` capped at ``backoff_cap`` seconds.
+        """
         reader, writer = await asyncio.open_unix_connection(socket_path)
-        return cls(reader, writer)
+        return cls(reader, writer, socket_path=socket_path,
+                   retries=retries, backoff_base=backoff_base,
+                   backoff_cap=backoff_cap)
 
     # -- plumbing --------------------------------------------------------------
-    async def _read_loop(self) -> None:
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         error: Optional[BaseException] = None
         try:
             while True:
-                response = await read_message(self._reader)
+                response = await read_message(reader)
                 if response is None:
                     break
                 future = self._pending.pop(response.get("request_id"), None)
@@ -75,29 +110,91 @@ class ServingClient:
                     future.set_result(response)
         except asyncio.CancelledError:
             error = ProtocolError("client closed with requests in flight")
+        except (ConnectionError, OSError) as exc:
+            error = ConnectionLostError(f"connection lost: {exc}")
         except Exception as exc:
-            error = exc
+            error = exc  # e.g. a corrupt stream — not retryable
         if error is None:
-            error = ProtocolError("server closed the connection")
+            error = ConnectionLostError("server closed the connection")
+        # only the loop of the *current* connection declares it broken —
+        # a stale loop draining after a reconnect must not flip the state
+        if reader is self._reader:
+            self._broken = True
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(error)
         self._pending.clear()
 
-    async def _request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        if self._closed:
-            raise ProtocolError("client is closed")
+    async def _ensure_connected(self) -> None:
+        """Re-open the remembered socket if the connection is broken.
+
+        Single-flight: concurrent retrying requests serialize here and
+        all but the first find the connection already repaired.
+        """
+        async with self._reconnect_lock:
+            if self._closed:
+                raise ProtocolError("client is closed")
+            if not self._broken:
+                return
+            if self._socket_path is None:
+                raise ConnectionLostError(
+                    "connection lost and no socket path to reconnect to"
+                )
+            # retire the dead transport completely before swapping, so its
+            # read loop cannot fail futures belonging to the new connection
+            self._reader_task.cancel()
+            await asyncio.gather(self._reader_task, return_exceptions=True)
+            self._writer.close()
+            reader, writer = await asyncio.open_unix_connection(
+                self._socket_path
+            )
+            self._reader = reader
+            self._writer = writer
+            self._reader_task = asyncio.ensure_future(self._read_loop(reader))
+            self._broken = False
+
+    async def _request_once(self, op: str, **fields: Any) -> Dict[str, Any]:
         request_id = self._next_id
         self._next_id += 1
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         message = {"op": op, "request_id": request_id, **fields}
-        async with self._write_lock:
-            await write_message(self._writer, message)
+        try:
+            async with self._write_lock:
+                await write_message(self._writer, message)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            if future.done():
+                future.exception()  # the read loop failed it first
+            self._broken = True
+            raise ConnectionLostError(f"send failed: {exc}") from exc
         response = await future
         if not response.get("ok"):
             raise_remote_error(response)
         return response
+
+    async def _request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        attempt = 0
+        while True:
+            if self._closed:
+                raise ProtocolError("client is closed")
+            try:
+                if self._broken:
+                    await self._ensure_connected()
+                return await self._request_once(op, **fields)
+            except (ConnectionLostError, ConnectionError, OSError) as exc:
+                self._broken = True
+                retryable = (
+                    op != "shutdown"
+                    and self._socket_path is not None
+                    and not self._closed
+                )
+                if not retryable or attempt >= self._retries:
+                    raise
+                delay = min(self._backoff_cap,
+                            self._backoff_base * (2 ** attempt))
+                attempt += 1
+                await asyncio.sleep(delay)
 
     # -- API -------------------------------------------------------------------
     async def factorize(self, problem, algorithm: str = "multi_solve",
@@ -131,7 +228,7 @@ class ServingClient:
         return bool(response.get("pong"))
 
     async def shutdown_server(self) -> None:
-        """Ask the server to drain and exit."""
+        """Ask the server to drain and exit (never retried)."""
         await self._request("shutdown")
 
     async def close(self) -> None:
@@ -141,7 +238,7 @@ class ServingClient:
         self._writer.close()
         try:
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
         self._reader_task.cancel()
         await asyncio.gather(self._reader_task, return_exceptions=True)

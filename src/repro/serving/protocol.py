@@ -62,6 +62,14 @@ class ProtocolError(ReproError):
     """Malformed frame or response on the serving socket."""
 
 
+class ConnectionLostError(ProtocolError):
+    """The transport died under an in-flight request.
+
+    Distinct from :class:`ProtocolError` so the client can tell a lost
+    connection (retryable against a restarted server) from a corrupt
+    stream or a marshalled server-side failure (not retryable)."""
+
+
 async def write_message(writer: asyncio.StreamWriter, payload: Any) -> None:
     """Frame and send one message; drains the transport."""
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)

@@ -89,6 +89,7 @@ class SolverServer:
             thread_name_prefix="repro-serve",
         )
         self._batcher: Optional[RhsBatcher] = None
+        self._connections: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown_event: Optional[asyncio.Event] = None
@@ -128,6 +129,18 @@ class SolverServer:
         self._stopped = True
         if self._server is not None:
             self._server.close()
+        # let accepts already in flight land in _handle_connection, so
+        # the disconnect sweep below reaches them too
+        for _ in range(3):
+            await asyncio.sleep(0)
+        # disconnect established clients — a stopped server must not
+        # leave half-alive connections that accept requests it can no
+        # longer serve (clients see EOF and may reconnect elsewhere).
+        # This must happen before wait_closed(): it blocks until every
+        # connection handler exits, which the handlers only do on EOF.
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
             await self._server.wait_closed()
         if self._batcher is not None:
             await self._batcher.drain()
@@ -148,6 +161,7 @@ class SolverServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self.stats.n_connections += 1
+        self._connections.add(writer)
         write_lock = asyncio.Lock()  # serialize frames from request tasks
         tasks: set = set()
         try:
@@ -163,6 +177,7 @@ class SolverServer:
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished; in-flight tasks fail their writes
         finally:
+            self._connections.discard(writer)
             if tasks:
                 await asyncio.gather(*list(tasks), return_exceptions=True)
             writer.close()

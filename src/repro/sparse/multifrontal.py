@@ -9,8 +9,13 @@ postorder (paper §II-C building blocks, reproduced from scratch):
 2. **partially factorize** the front's pivot block (LDLᵀ for symmetric
    values, LU with pivoting confined to the pivot block otherwise) and
    compute the coupling panels;
-3. optionally **compress** the stored panels (BLR, see
-   :mod:`repro.sparse.blr`);
+3. optionally **compress** the panels (BLR, see :mod:`repro.sparse.blr`):
+   in the FSCU default compression only touches *storage*; with
+   ``BLRConfig.compress_before_update`` (FCSU) large panels are
+   compressed first and the contribution block is formed from the
+   low-rank factors (``RkMatrix`` algebra) instead of the full GEMM —
+   panels below the FCSU threshold, or whose rank test fails, take the
+   exact path bit for bit;
 4. pass the contribution block ``F22 − L21·(...)`` to the parent.
 
 Variables marked as *Schur* are never eliminated; they accumulate through
@@ -22,6 +27,7 @@ complement is **always returned as a non-compressed dense matrix**.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -29,12 +35,14 @@ import scipy.sparse as sp
 from scipy.linalg import lu_factor, solve_triangular
 
 from repro.dense.ldlt import blocked_ldlt
+from repro.hmatrix.rk import RkMatrix
 from repro.memory.tracker import MemoryTracker
 from repro.sparse.blr import (
     BLRConfig,
     compress_panel,
     panel_matmat,
     panel_nbytes,
+    panel_product,
     panel_rmatmat,
 )
 from repro.sparse.symbolic import SymbolicFactorization
@@ -185,11 +193,17 @@ class MultifrontalFactorization:
         blr: Optional[BLRConfig] = None,
         tracker: Optional[MemoryTracker] = None,
         arena: Optional[FrontArena] = None,
+        timer=None,
     ):
         self.symbolic = symbolic
         self.mode = "ldlt" if symmetric_values else "lu"
         self.blr = blr
         self.tracker = tracker if tracker is not None else MemoryTracker()
+        #: optional PhaseTimer splitting out the ``front_compress`` phase
+        #: (FCSU panel compressions); holds a lock, stripped on pickling
+        self._timer = timer
+        #: panels FCSU actually compressed ahead of the update
+        self.n_fcsu_panels = 0
         a = a.tocsr()
         if a.shape != (symbolic.n_full, symbolic.n_full):
             raise ConfigurationError(
@@ -231,6 +245,7 @@ class MultifrontalFactorization:
         state = self.__dict__.copy()
         state["tracker"] = None
         state["_schur_alloc"] = None
+        state["_timer"] = None  # PhaseTimer holds a lock
         return state
 
     def __setstate__(self, state):
@@ -339,6 +354,29 @@ class MultifrontalFactorization:
         keep = elim[sub.col] >= n_int
         self.schur[sub.row[keep], schur_pos[sub.col[keep]]] += sub.data[keep]
 
+    def _fcsu_compress(self, panel: np.ndarray):
+        """FCSU: compress a coupling panel *before* the update, or None.
+
+        Returns ``None`` when FCSU is off or the panel is below the FCSU
+        threshold (the caller takes the exact FSCU path); otherwise the
+        :func:`compress_panel` outcome — an :class:`RkMatrix` feeding the
+        low-rank update algebra, or the original dense panel when the
+        rank test declined (the caller's dense fallback, bit-identical to
+        FCSU off).
+        """
+        blr = self.blr
+        if (blr is None or not blr.enabled
+                or not blr.compress_before_update
+                or min(panel.shape) < blr.fcsu_min_panel):
+            return None
+        phase = (self._timer.phase("front_compress")
+                 if self._timer is not None else nullcontext())
+        with phase:
+            out = compress_panel(panel, blr)
+        if isinstance(out, RkMatrix):
+            self.n_fcsu_panels += 1
+        return out
+
     def _eliminate_ldlt(self, fmat, p, factor) -> np.ndarray:
         f11 = fmat[:p, :p]
         try:
@@ -356,8 +394,15 @@ class MultifrontalFactorization:
                 l11, f21.T, lower=True, unit_diagonal=True, check_finite=False
             ).T
             l21 = x / d[None, :]
+            panel = self._fcsu_compress(l21)
+            if isinstance(panel, RkMatrix):
+                # FCSU: the update L21 D L21ᵀ from the low-rank factors
+                update = fmat[p:, p:] - panel.weighted_gram(d)
+                factor.l21 = panel
+                return update
             update = fmat[p:, p:] - (l21 * d[None, :]) @ l21.T
-            factor.l21 = compress_panel(l21, self.blr)
+            factor.l21 = (panel if panel is not None
+                          else compress_panel(l21, self.blr))
             return update
         factor.l21 = np.zeros((0, p), dtype=fmat.dtype)
         return fmat[p:, p:]
@@ -385,9 +430,20 @@ class MultifrontalFactorization:
                 lu11.T, fmat[p:, :p].T, lower=True, unit_diagonal=False,
                 check_finite=False,
             ).T
-            update = fmat[p:, p:] - l21 @ u12
-            factor.l21 = compress_panel(l21, self.blr)
-            factor.u12 = compress_panel(u12, self.blr)
+            c21 = self._fcsu_compress(l21)
+            c12 = self._fcsu_compress(u12)
+            if isinstance(c21, RkMatrix) or isinstance(c12, RkMatrix):
+                # FCSU: the update L21 U12 through the low-rank factors
+                update = fmat[p:, p:] - panel_product(
+                    c21 if c21 is not None else l21,
+                    c12 if c12 is not None else u12,
+                )
+            else:
+                update = fmat[p:, p:] - l21 @ u12
+            factor.l21 = (c21 if c21 is not None
+                          else compress_panel(l21, self.blr))
+            factor.u12 = (c12 if c12 is not None
+                          else compress_panel(u12, self.blr))
             return update
         factor.l21 = np.zeros((0, p), dtype=fmat.dtype)
         factor.u12 = np.zeros((p, 0), dtype=fmat.dtype)
@@ -413,8 +469,6 @@ class MultifrontalFactorization:
         flops = 0.0
         compressed_panels = 0
         total_panels = 0
-        from repro.hmatrix.rk import RkMatrix
-
         for f in self._fronts:
             if f is None:
                 continue
@@ -438,6 +492,7 @@ class MultifrontalFactorization:
             "flops_estimate": flops,
             "blr_compressed_panels": compressed_panels,
             "blr_total_panels": total_panels,
+            "fcsu_compressed_updates": self.n_fcsu_panels,
         }
 
     @property

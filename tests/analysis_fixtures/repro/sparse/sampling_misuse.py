@@ -1,0 +1,40 @@
+"""Fixture: RNG construction discipline in randomized sampling kernels.
+
+Lives under a ``repro/sparse/`` path on purpose — DET004 only applies
+inside :data:`tools.analysis.config.DET_SEEDED_RNG_PATH_FRAGMENTS`.
+
+Documented findings:
+
+* ``unseeded_probe``       — DET002 (``default_rng()`` with no seed);
+* ``handrolled_generator`` — DET004 (``np.random.Generator(...)``);
+* ``legacy_state``         — DET004 (bare ``RandomState(...)``).
+
+``clean_seeded_sampling`` and ``waived_generator`` contribute nothing.
+"""
+
+import numpy as np
+from numpy.random import RandomState
+
+
+def unseeded_probe(panel):
+    rng = np.random.default_rng()
+    return panel @ rng.standard_normal((panel.shape[1], 8))
+
+
+def handrolled_generator(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def legacy_state(seed):
+    return RandomState(seed)
+
+
+def clean_seeded_sampling(panel, seed, i, j):
+    # the sanctioned shape: explicit per-block seed-sequence key
+    rng = np.random.default_rng([seed, i, j])
+    return panel @ rng.standard_normal((panel.shape[1], 8))
+
+
+def waived_generator(bit_generator):
+    # det-ok: interop shim for a caller-supplied bit generator
+    return np.random.Generator(bit_generator)

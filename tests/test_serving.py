@@ -19,7 +19,12 @@ import numpy as np
 import pytest
 
 from repro.core import SolverConfig, solve_coupled
-from repro.serving import ServingClient, SolverServer, ServingError
+from repro.serving import (
+    ConnectionLostError,
+    ServingClient,
+    SolverServer,
+    ServingError,
+)
 from repro.serving.protocol import error_response, raise_remote_error
 from repro.utils.errors import FactorizationFreed
 
@@ -244,6 +249,75 @@ class TestCacheLifecycleOverProtocol:
             SolverConfig(serve_cache_entries=4, **CONFIG_KW),
             body, cache_enabled=False,
         )
+
+
+class TestReconnect:
+    def test_client_survives_a_server_restart(self, pipe_small):
+        """Kill the server, bring a new one up on the same socket: the
+        client reconnects with backoff and the request succeeds."""
+
+        async def main():
+            socket_path = short_socket_path()
+            first = SolverServer(SolverConfig(**CONFIG_KW),
+                                 socket_path=socket_path)
+            await first.start()
+            client = await ServingClient.connect(socket_path,
+                                                 backoff_base=0.01)
+            try:
+                assert await client.ping()
+                await first.stop()  # connection drops under the client
+                second = SolverServer(SolverConfig(**CONFIG_KW),
+                                      socket_path=socket_path)
+                await second.start()
+                try:
+                    # transparently reconnects to the restarted server
+                    assert await client.ping()
+                    x_v, x_s = await client.solve_system(pipe_small)
+                    assert pipe_small.relative_error(x_v, x_s) < 1e-3
+                finally:
+                    await second.stop()
+            finally:
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_retries_exhausted_raises(self, pipe_small):
+        """No server comes back: bounded retries, then the failure
+        propagates instead of looping forever."""
+
+        async def main():
+            server = SolverServer(SolverConfig(**CONFIG_KW),
+                                  socket_path=short_socket_path())
+            await server.start()
+            client = await ServingClient.connect(server.socket_path,
+                                                 retries=2,
+                                                 backoff_base=0.01)
+            try:
+                assert await client.ping()
+                await server.stop()
+                with pytest.raises((ConnectionLostError, OSError)):
+                    await client.ping()
+            finally:
+                await client.close()
+
+        asyncio.run(main())
+
+    def test_retries_zero_fails_fast(self, pipe_small):
+        async def main():
+            server = SolverServer(SolverConfig(**CONFIG_KW),
+                                  socket_path=short_socket_path())
+            await server.start()
+            client = await ServingClient.connect(server.socket_path,
+                                                 retries=0)
+            try:
+                assert await client.ping()
+                await server.stop()
+                with pytest.raises(ConnectionLostError):
+                    await client.ping()
+            finally:
+                await client.close()
+
+        asyncio.run(main())
 
 
 class TestCli:
